@@ -1,0 +1,87 @@
+// Command tinysdr-ap simulates the OTA access point (§3.4): it compresses a
+// firmware image and programs the 20-node campus testbed over the LoRa
+// backbone, reporting per-node timing, retransmissions and energy.
+//
+// Usage:
+//
+//	tinysdr-ap -image lora   # LoRa modem FPGA bitstream (579 kB)
+//	tinysdr-ap -image ble    # BLE beacon FPGA bitstream
+//	tinysdr-ap -image mcu    # 78 kB MCU firmware
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/uwsdr/tinysdr/internal/eval"
+	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/ota"
+	"github.com/uwsdr/tinysdr/internal/testbed"
+)
+
+func main() {
+	image := flag.String("image", "mcu", "firmware image: lora, ble, or mcu")
+	seed := flag.Int64("seed", 1, "deployment and channel seed")
+	flag.Parse()
+
+	var (
+		img    []byte
+		design *fpga.Design
+		target = ota.TargetFPGA
+	)
+	switch *image {
+	case "lora":
+		design = fpga.LoRaTRXDesign(8)
+		img = fpga.SynthBitstream(design)
+	case "ble":
+		design = fpga.BLEBeaconDesign()
+		img = fpga.SynthBitstream(design)
+	case "mcu":
+		img = fpga.SynthMCUFirmware(78*1024, *seed)
+		target = ota.TargetMCU
+	default:
+		fmt.Fprintf(os.Stderr, "unknown image %q\n", *image)
+		os.Exit(2)
+	}
+
+	u, err := ota.BuildUpdate(target, img)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("image: %s (%d kB raw, %d kB compressed, %d packets)\n",
+		*image, len(img)/1024, u.CompressedSize()/1024, len(u.Chunks))
+
+	campus := testbed.NewCampus(*seed)
+	results := campus.ProgramAll(u, design)
+
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		status := "ok"
+		dur, retx, energy := "-", "-", "-"
+		if r.Err != nil {
+			status = r.Err.Error()
+		} else {
+			dur = fmt.Sprintf("%.1f s", r.Report.Duration.Seconds())
+			retx = fmt.Sprintf("%d", r.Report.Retransmissions)
+			energy = fmt.Sprintf("%.2f J", r.Report.EnergyJ)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.NodeID),
+			fmt.Sprintf("%.0f m", r.Distance),
+			fmt.Sprintf("%.1f dBm", r.RSSIdBm),
+			dur, retx, energy, status,
+		})
+	}
+	fmt.Print(eval.RenderTable(
+		[]string{"Node", "Distance", "RSSI", "Duration", "Retx", "Energy", "Status"}, rows))
+
+	if mean, err := testbed.MeanDuration(results); err == nil {
+		fmt.Printf("\nmean programming time: %.1f s\n", mean.Seconds())
+	}
+	fmt.Println("\nCDF:")
+	for _, p := range testbed.CDF(results) {
+		fmt.Printf("  %6.2f min  %4.0f%%\n", p.Duration.Minutes(), p.Fraction*100)
+	}
+}

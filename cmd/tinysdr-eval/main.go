@@ -1,0 +1,58 @@
+// Command tinysdr-eval regenerates the tables and figures of the TinySDR
+// paper's evaluation (§5, §6) from the simulation models.
+//
+// Usage:
+//
+//	tinysdr-eval -list
+//	tinysdr-eval -run all
+//	tinysdr-eval -run fig10,fig14 -quick -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/uwsdr/tinysdr/internal/eval"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	quick := flag.Bool("quick", false, "reduce Monte-Carlo trial counts")
+	seed := flag.Int64("seed", 1, "PRNG seed for all experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range eval.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []eval.Experiment
+	if *run == "all" {
+		selected = eval.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := eval.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := eval.Config{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		r, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Text)
+	}
+}

@@ -1,0 +1,75 @@
+// Command tinysdr-node runs one simulated tinySDR endpoint through a
+// duty-cycled sensing lifecycle — sleep, wake, transmit a LoRa reading,
+// sleep — and prints the timing and the energy ledger, illustrating the
+// §5.1 power story.
+//
+// Usage:
+//
+//	tinysdr-node -cycles 5 -period 10s -txpower 14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/uwsdr/tinysdr/internal/core"
+	"github.com/uwsdr/tinysdr/internal/eval"
+	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/power"
+)
+
+func main() {
+	cycles := flag.Int("cycles", 5, "number of duty cycles to run")
+	period := flag.Duration("period", 10*time.Second, "duty-cycle period")
+	txPower := flag.Float64("txpower", 14, "LoRa transmit power in dBm")
+	flag.Parse()
+
+	d := core.New(core.Config{ID: 1})
+	p := lora.DefaultParams()
+	d.Sleep()
+	fmt.Printf("sleep power: %.1f µW\n", d.SystemPowerW()*1e6)
+	d.PMU.Ledger().Reset()
+
+	reading := []byte{0x17, 0x2A, 0x01}
+	for i := 0; i < *cycles; i++ {
+		cycleStart := d.Clock.Now()
+		wake, err := d.Wake(fpga.LoRaTRXDesign(p.SF))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := d.ConfigureLoRa(p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := d.TransmitLoRa(reading, *txPower); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		active := d.Clock.Now() - cycleStart
+		d.Sleep()
+		d.Clock.AdvanceTo(cycleStart + *period)
+		fmt.Printf("cycle %d: wake %v, active %v, slept %v\n",
+			i+1, wake, active, *period-active)
+	}
+
+	total := d.PMU.Ledger().Energy()
+	elapsed := d.Clock.Now()
+	avg := total / elapsed.Seconds()
+	fmt.Printf("\ntotal: %.2f mJ over %v — average %.0f µW\n", total*1e3, elapsed, avg*1e6)
+	batt := power.DefaultBattery()
+	fmt.Printf("1000 mAh battery life at this duty cycle: %.1f years\n",
+		power.Years(batt.Lifetime(avg)))
+
+	fmt.Println("\nenergy by component:")
+	rows := [][]string{}
+	for _, e := range d.PMU.Ledger().Report() {
+		rows = append(rows, []string{e.Component,
+			fmt.Sprintf("%.3f mJ", e.EnergyJ*1e3),
+			fmt.Sprintf("%.1f%%", e.EnergyJ/total*100)})
+	}
+	fmt.Print(eval.RenderTable([]string{"Component", "Energy", "Share"}, rows))
+}

@@ -1,0 +1,54 @@
+// backscatter demonstrates the §7 low-power reader direction: a tinySDR
+// acts as both exciter (its single-tone generator) and reader (its I/Q
+// receiver) for a backscatter tag, with no custom reader hardware.
+//
+// Run with: go run ./examples/backscatter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/uwsdr/tinysdr"
+)
+
+func main() {
+	cfg := tinysdr.DefaultBackscatterConfig()
+	fmt.Printf("exciter tone + %v kHz subcarrier tag at %v kbps\n\n",
+		cfg.SubcarrierHz/1e3, cfg.BitRate/1e3)
+
+	// The tag reflects 40 dB below the exciter's self-interference.
+	tag := &tinysdr.BackscatterTag{Config: cfg, Reflection: 0.01}
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 96)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	reflected, err := tag.Backscatter(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reader input: full-strength exciter leak + tag + receiver noise.
+	rx := tinysdr.BackscatterExcite(cfg, len(reflected))
+	rx.Add(reflected)
+	rx.Add(tinysdr.NewChannel(7, -90).Noise(len(rx)))
+
+	reader, err := tinysdr.NewBackscatterReader(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := reader.Demodulate(rx, len(bits))
+	if err != nil {
+		log.Fatal(err)
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	fmt.Printf("decoded %d tag bits with %d errors through 40 dB self-interference\n", len(bits), errs)
+	fmt.Println("the subcarrier-orthogonal detector needs no interference canceller")
+}

@@ -1,0 +1,112 @@
+package tinysdr
+
+// Tests for the extension surface of the public API (§7 features).
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/ota"
+)
+
+func TestFacadeAdaptSF(t *testing.T) {
+	if got := AdaptSF(-80, 125e3, 3); got != 7 {
+		t.Errorf("strong link SF = %d, want 7", got)
+	}
+	if got := AdaptSF(-140, 125e3, 3); got != 12 {
+		t.Errorf("dead link SF = %d, want 12", got)
+	}
+}
+
+func TestFacadePathLoss(t *testing.T) {
+	m := PathLoss{FreqHz: 915e6, Exponent: 2.9}
+	if r := m.RangeFor(14, 2, 0, LoRaSensitivityDBm(8, 125e3)); r < 1000 {
+		t.Errorf("LoRa range = %.0f m, want km scale", r)
+	}
+}
+
+func TestFacadeLocalization(t *testing.T) {
+	ranger, err := NewRanger([]float64{902e6, 904e6, 918e6}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &LocalizationSystem{
+		Anchors: []Anchor{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 0, Y: 60}},
+		Ranger:  ranger,
+	}
+	x, y, err := sys.Locate(20, 25, func(d float64) float64 { return -65 }, -100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Hypot(x-20, y-25); e > 2 {
+		t.Errorf("position error %.2f m", e)
+	}
+	// Direct trilateration is exposed too.
+	if _, _, err := Trilaterate(sys.Anchors, []float64{32, 47.2, 40.3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBackscatter(t *testing.T) {
+	cfg := DefaultBackscatterConfig()
+	tag := &BackscatterTag{Config: cfg, Reflection: 0.02}
+	bits := []int{0, 1, 1, 0, 1, 0, 0, 1}
+	reflected, err := tag.Backscatter(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := BackscatterExcite(cfg, len(reflected))
+	rx.Add(reflected)
+	reader, err := NewBackscatterReader(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.Demodulate(rx, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestFacadeBroadcastOTA(t *testing.T) {
+	img := SynthMCUFirmware(8*1024, 1)
+	u, err := BuildUpdate(TargetMCU, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []BroadcastTarget
+	var devs []*Device
+	for i := 0; i < 3; i++ {
+		d := New(Config{ID: uint16(i + 1)})
+		devs = append(devs, d)
+		targets = append(targets, BroadcastTarget{Node: d.OTA, RSSIdBm: -85})
+	}
+	sess := NewBroadcastOTASession(targets, 2)
+	rep, err := sess.ProgramFleet(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BroadcastPackets != len(u.Chunks) {
+		t.Errorf("broadcast packets = %d", rep.BroadcastPackets)
+	}
+	for _, d := range devs {
+		if err := d.OTA.VerifyImage(img, ota.TargetMCU); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFacadeDeviceRecording(t *testing.T) {
+	d := New(Config{ID: 1})
+	d.AttachSDCard(1 << 20)
+	if _, err := d.RecordSamples(1000); err != nil {
+		t.Fatal(err)
+	}
+	if d.SDUsed() != 4000 {
+		t.Errorf("SD used = %d", d.SDUsed())
+	}
+}

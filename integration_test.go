@@ -1,0 +1,242 @@
+package tinysdr
+
+// Full-platform integration test: one simulated tinySDR endpoint lives the
+// lifecycle the paper's testbed vision describes — it is reprogrammed over
+// the air between protocols, beacons as a BLE device, then runs a
+// TTN-compatible LoRaWAN uplink over the sample-level PHY, duty-cycling
+// through 30 µW sleep between activities.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/uwsdr/tinysdr/internal/lorawan"
+)
+
+func TestPlatformLifecycle(t *testing.T) {
+	dev := New(Config{ID: 77})
+	gateway := New(Config{ID: 1})
+
+	// --- Phase 1: OTA-program the device with the BLE beacon bitstream.
+	bleDesign := BLEDesign()
+	bleImage := SynthBitstream(bleDesign)
+	update, err := BuildUpdate(TargetFPGA, bleImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewOTASession(dev, -85, 1)
+	rep, err := sess.Program(update, bleDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration < 45*time.Second {
+		t.Fatalf("BLE OTA update suspiciously fast: %v", rep.Duration)
+	}
+	if dev.FPGA.Design().Name != bleDesign.Name {
+		t.Fatal("device not running the BLE design")
+	}
+
+	// --- Phase 2: the device advertises; a sniffer decodes the beacon.
+	beacon := Beacon{
+		AdvAddress: [6]byte{0xAA, 0xBB, 0xCC, 0x01, 0x02, 0x03},
+		AdvData:    []byte{0x02, 0x01, 0x06},
+	}
+	if err := dev.ConfigureBLE(beacon); err != nil {
+		t.Fatal(err)
+	}
+	events, err := dev.TransmitBeaconBurst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("beacon burst produced %d events", len(events))
+	}
+	adv, err := NewAdvertiser(beacon, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := adv.Mod.ModulateBeacon(beacon, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniffer, err := NewBLEDemodulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch24 := NewChannel(2, -98)
+	got, err := sniffer.Receive(ch24.Apply(wave, -75), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AdvAddress != beacon.AdvAddress {
+		t.Fatal("sniffer decoded wrong advertiser address")
+	}
+
+	// --- Phase 3: deep sleep between roles; the 30 µW state.
+	dev.Sleep()
+	if p := dev.SystemPowerW(); math.Abs(p-30e-6) > 4e-6 {
+		t.Fatalf("sleep power %.1f µW", p*1e6)
+	}
+	dev.Clock.Advance(time.Hour) // a night on the testbed
+
+	// The wake timer fires for the OTA listen window: reboot from the
+	// staged BLE image (22 ms, Table 4).
+	if _, err := dev.Wake(bleDesign); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Phase 4: OTA-reprogram to the LoRa modem over the air.
+	loraDesign := LoRaDesign(8)
+	loraImage := SynthBitstream(loraDesign)
+	update2, err := BuildUpdate(TargetFPGA, loraImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2 := NewOTASession(dev, -85, 3)
+	if _, err := sess2.Program(update2, loraDesign); err != nil {
+		t.Fatal(err)
+	}
+	if dev.FPGA.Design().Name != loraDesign.Name {
+		t.Fatal("device not running the LoRa design after second update")
+	}
+
+	// --- Phase 5: TTN-style LoRaWAN uplink over the sample-level PHY.
+	var nwk, app [16]byte
+	for i := range nwk {
+		nwk[i] = byte(i + 1)
+		app[i] = byte(0x80 + i)
+	}
+	session := NewABPSession(0x26011234, nwk, app)
+	frame := &LoRaWANFrame{
+		MType: lorawan.MTypeUnconfirmedUp, DevAddr: session.DevAddr,
+		FCnt: 0, FPort: 1, FRMPayload: []byte("temp=21.4C"),
+	}
+	phy, err := frame.Encode(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := DefaultLoRaParams()
+	if err := dev.ConfigureLoRa(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := gateway.ConfigureLoRa(p); err != nil {
+		t.Fatal(err)
+	}
+	air, err := dev.TransmitLoRa(phy, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch915 := NewChannel(4, LoRaNoiseFloorDBm(p))
+	pkt, err := gateway.ReceiveLoRa(ch915.Apply(air, -118))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pkt.CRCOK {
+		t.Fatal("uplink CRC failed")
+	}
+	decoded, err := lorawan.DecodeData(session, pkt.Payload, lorawan.Uplink, 0)
+	if err != nil {
+		t.Fatalf("gateway could not verify the LoRaWAN frame: %v", err)
+	}
+	if !bytes.Equal(decoded.FRMPayload, []byte("temp=21.4C")) {
+		t.Fatalf("application payload %q", decoded.FRMPayload)
+	}
+
+	// --- Phase 6: the energy story holds across the whole lifecycle.
+	total := dev.PMU.Ledger().Energy()
+	if total <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	// The hour of sleep must be a tiny share despite being ~97% of time.
+	dev.PMU.Ledger().Reset()
+	dev.Sleep()
+	dev.Clock.Advance(time.Hour)
+	sleepHour := dev.PMU.Ledger().Energy()
+	if sleepHour > 0.15 {
+		t.Errorf("an hour of sleep cost %.3f J; duty-cycling broken", sleepHour)
+	}
+}
+
+func TestPlatformLifecycleOTAA(t *testing.T) {
+	// The OTAA join flow between a device and a network server, carried
+	// over the sample-level PHY in both directions.
+	dev := New(Config{ID: 5})
+	gw := New(Config{ID: 6})
+	p := DefaultLoRaParams()
+	if err := dev.ConfigureLoRa(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.ConfigureLoRa(p); err != nil {
+		t.Fatal(err)
+	}
+	ch := NewChannel(9, LoRaNoiseFloorDBm(p))
+
+	id := lorawan.DeviceIdentity{AppEUI: lorawan.EUI{1}, DevEUI: lorawan.EUI{2}}
+	for i := range id.AppKey {
+		id.AppKey[i] = byte(i * 3)
+	}
+
+	// Device -> network: join request over the air.
+	req := &lorawan.JoinRequest{AppEUI: id.AppEUI, DevEUI: id.DevEUI, DevNonce: 0x1234}
+	air, err := dev.TransmitLoRa(req.Encode(id.AppKey), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxReq, err := gw.ReceiveLoRa(ch.Apply(air, -110))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := lorawan.DecodeJoinRequest(id.AppKey, rxReq.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Network -> device: join accept over the air.
+	accept := &lorawan.JoinAccept{AppNonce: 0xABCDE, NetID: 0x13, DevAddr: 0x26017777, RXDelay: 1}
+	air2, err := gw.TransmitLoRa(accept.Encode(id.AppKey), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxAcc, err := dev.ReceiveLoRa(ch.Apply(air2, -110))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAcc, err := lorawan.DecodeJoinAccept(id.AppKey, rxAcc.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both sides derive matching sessions and exchange a frame.
+	devSess := lorawan.DeriveSession(id.AppKey, gotAcc, req.DevNonce)
+	netSess := lorawan.DeriveSession(id.AppKey, accept, gotReq.DevNonce)
+	f := &LoRaWANFrame{MType: lorawan.MTypeUnconfirmedUp, DevAddr: devSess.DevAddr, FPort: 2, FRMPayload: []byte("joined!")}
+	phy, err := f.Encode(devSess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	air3, err := dev.TransmitLoRa(phy, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := gw.ReceiveLoRa(ch.Apply(air3, -115))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := lorawan.DecodeData(netSess, up.Payload, lorawan.Uplink, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.FRMPayload, []byte("joined!")) {
+		t.Fatalf("payload %q", dec.FRMPayload)
+	}
+
+	// Class-A timing: the radio turnaround fits the RX1 window by orders
+	// of magnitude (Table 4 vs the 1 s LoRaWAN delay).
+	rx1, _ := lorawan.ReceiveWindows(dev.Clock.Now())
+	if rx1-dev.Clock.Now() != lorawan.RX1Delay {
+		t.Error("RX1 window arithmetic wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package ble
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/uwsdr/tinysdr/internal/dsp"
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// GFSK modulation parameters for BLE 4.0: Gaussian BT product 0.5 and
+// modulation index 0.5 (within the 0.45-0.55 the spec allows), i.e. a
+// ±250 kHz deviation at 1 Mbps.
+const (
+	// BT is the Gaussian filter bandwidth-time product.
+	BT = 0.5
+	// ModulationIndex is the frequency-deviation index h.
+	ModulationIndex = 0.5
+	// gaussianSpan is the pulse truncation in symbols.
+	gaussianSpan = 3
+)
+
+// Modulator converts air bytes into the baseband GFSK waveform exactly as
+// the tinySDR FPGA does (§4.2): upsample the bit stream, apply the Gaussian
+// filter, integrate the frequency trajectory into phase, and map phase
+// through sine/cosine.
+type Modulator struct {
+	// SPS is samples per symbol; at BLE's 1 Mbps, 4 SPS matches the
+	// AT86RF215's 4 MHz I/Q interface.
+	SPS    int
+	filter *dsp.FIR
+}
+
+// NewModulator returns a GFSK modulator at the given oversampling.
+func NewModulator(sps int) (*Modulator, error) {
+	if sps < 2 || sps > 64 {
+		return nil, fmt.Errorf("ble: samples per symbol %d outside 2..64", sps)
+	}
+	return &Modulator{SPS: sps, filter: dsp.NewGaussian(BT, sps, gaussianSpan)}, nil
+}
+
+// SampleRate returns the waveform rate in Hz.
+func (m *Modulator) SampleRate() float64 { return BitRate * float64(m.SPS) }
+
+// Modulate converts bits into I/Q samples. The waveform includes
+// gaussianSpan/2 symbols of filter ramp at each end.
+func (m *Modulator) Modulate(bits []int) iq.Samples {
+	// NRZ at sample rate.
+	pad := gaussianSpan / 2
+	nrz := make([]float64, (len(bits)+2*pad)*m.SPS)
+	for i, b := range bits {
+		v := -1.0
+		if b != 0 {
+			v = 1.0
+		}
+		for s := 0; s < m.SPS; s++ {
+			nrz[(i+pad)*m.SPS+s] = v
+		}
+	}
+	// Pad edges with the value of the adjacent bit to avoid spectral
+	// splatter from a hard edge.
+	if len(bits) > 0 {
+		for s := 0; s < pad*m.SPS; s++ {
+			nrz[s] = nrz[pad*m.SPS]
+			nrz[len(nrz)-1-s] = nrz[len(nrz)-1-pad*m.SPS]
+		}
+	}
+	shaped := m.filter.FilterReal(nrz)
+
+	// Frequency deviation: h/2 cycles per symbol at full scale.
+	devPerSample := ModulationIndex / 2 / float64(m.SPS)
+	out := make(iq.Samples, len(shaped))
+	phase := 0.0
+	for i, f := range shaped {
+		out[i] = cmplx.Exp(complex(0, 2*math.Pi*phase))
+		phase += f * devPerSample
+		phase -= math.Floor(phase)
+	}
+	return out
+}
+
+// ModulateBeacon produces the waveform for one beacon on a channel.
+func (m *Modulator) ModulateBeacon(b Beacon, channel int) (iq.Samples, error) {
+	air, err := b.AirBytes(channel)
+	if err != nil {
+		return nil, err
+	}
+	return m.Modulate(AirBits(air)), nil
+}
+
+// Demodulator is a quadrature-discriminator GFSK receiver — the
+// architecture of commercial BLE silicon like the CC2650 that Fig. 12
+// measures against. The chain is: channel-select low-pass, phase
+// differentiation, integrate-and-dump over each bit, threshold.
+type Demodulator struct {
+	SPS    int
+	chFilt *dsp.FIR
+}
+
+// NewDemodulator returns a receiver matching the modulator's oversampling.
+func NewDemodulator(sps int) (*Demodulator, error) {
+	if sps < 2 || sps > 64 {
+		return nil, fmt.Errorf("ble: samples per symbol %d outside 2..64", sps)
+	}
+	// Channel filter: ~1.1 MHz single-sided at the sample rate.
+	cutoff := 0.55 / float64(sps)
+	return &Demodulator{SPS: sps, chFilt: dsp.NewLowpass(4*sps+1, cutoff)}, nil
+}
+
+// discriminate returns the per-sample instantaneous frequency (radians per
+// sample) of the filtered signal.
+func (d *Demodulator) discriminate(sig iq.Samples) []float64 {
+	filtered := d.chFilt.Filter(sig)
+	freq := make([]float64, len(filtered))
+	for i := 1; i < len(filtered); i++ {
+		prev := filtered[i-1]
+		cur := filtered[i]
+		freq[i] = cmplx.Phase(cur * complex(real(prev), -imag(prev)))
+	}
+	return freq
+}
+
+// DemodBits recovers nbits bits from sig, where the first bit's samples
+// begin at startOffset. Integrate-and-dump over each bit period.
+func (d *Demodulator) DemodBits(sig iq.Samples, startOffset, nbits int) []int {
+	freq := d.discriminate(sig)
+	bits := make([]int, 0, nbits)
+	for i := 0; i < nbits; i++ {
+		lo := startOffset + i*d.SPS
+		hi := lo + d.SPS
+		if hi > len(freq) {
+			break
+		}
+		var acc float64
+		for _, f := range freq[lo:hi] {
+			acc += f
+		}
+		if acc >= 0 {
+			bits = append(bits, 1)
+		} else {
+			bits = append(bits, 0)
+		}
+	}
+	return bits
+}
+
+// Receive locates one beacon in sig by scanning bit-timing offsets for the
+// preamble + access address, then decodes and validates the whole packet.
+// maxLen bounds the advertising-data length to try.
+func (d *Demodulator) Receive(sig iq.Samples, channel int) (Beacon, error) {
+	const aaBits = 5 * 8 // preamble + access address
+	want := make([]int, 0, aaBits)
+	aa := uint32(AccessAddress)
+	aahdr := [5]byte{Preamble, byte(aa), byte(aa >> 8), byte(aa >> 16), byte(aa >> 24)}
+	want = append(want, AirBits(aahdr[:])...)
+
+	limit := len(sig) - (aaBits+8)*d.SPS
+	for off := 0; off <= limit; off++ {
+		got := d.DemodBits(sig, off, aaBits)
+		if len(got) < aaBits {
+			break
+		}
+		match := 0
+		for i := range got {
+			if got[i] == want[i] {
+				match++
+			}
+		}
+		if match < aaBits-2 { // allow up to 2 training errors
+			continue
+		}
+		// Decode the header to learn the length, then the full PDU.
+		hdrBits := d.DemodBits(sig, off+aaBits*d.SPS, 16)
+		if len(hdrBits) < 16 {
+			continue
+		}
+		hdr := BitsToBytes(hdrBits)
+		Whiten(channel, hdr)
+		length := int(hdr[1])
+		if length < 6 || length > 6+MaxAdvData {
+			continue
+		}
+		totalBits := (5 + 2 + length + 3) * 8
+		bits := d.DemodBits(sig, off, totalBits)
+		if len(bits) < totalBits {
+			continue
+		}
+		b, err := ParseAir(channel, BitsToBytes(bits))
+		if err != nil {
+			continue
+		}
+		return b, nil
+	}
+	return Beacon{}, fmt.Errorf("ble: no beacon found on channel %d", channel)
+}

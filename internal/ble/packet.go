@@ -1,0 +1,189 @@
+// Package ble implements Bluetooth Low Energy non-connectable advertising
+// (beacons) as tinySDR generates them on its FPGA (§4.2): PDU assembly, the
+// 24-bit CRC LFSR, the 7-bit whitening LFSR, GFSK modulation with a
+// Gaussian pulse filter and phase integration, and a discriminator
+// demodulator standing in for the TI CC2650 reference receiver of Fig. 12.
+package ble
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BLE 4.0 constants for advertising packets.
+const (
+	// Preamble is the alternating training byte (LSB first: 01010101...).
+	Preamble = 0xAA
+	// AccessAddress is the fixed advertising-channel access address.
+	AccessAddress = 0x8E89BED6
+	// PDUTypeAdvNonconnInd is the non-connectable undirected advertising
+	// PDU type the paper's beacons use.
+	PDUTypeAdvNonconnInd = 0x02
+	// MaxAdvData is the longest advertising payload.
+	MaxAdvData = 31
+	// BitRate is BLE 4.0's 1 Mbps.
+	BitRate = 1e6
+	// crcInit is the advertising-channel CRC seed (0x555555).
+	crcInit = 0x555555
+)
+
+// AdvChannel is one of the three advertising channels.
+type AdvChannel struct {
+	Number int
+	FreqHz float64
+}
+
+// The advertising channels, in the hop order beacons use.
+var AdvChannels = []AdvChannel{
+	{37, 2402e6},
+	{38, 2426e6},
+	{39, 2480e6},
+}
+
+// Beacon describes one non-connectable advertisement.
+type Beacon struct {
+	// AdvAddress is the 6-byte advertiser address.
+	AdvAddress [6]byte
+	// AdvData is the manufacturer payload, at most 31 bytes.
+	AdvData []byte
+}
+
+// PDU assembles the packet data unit: 2-byte header, address, data.
+func (b Beacon) PDU() ([]byte, error) {
+	if len(b.AdvData) > MaxAdvData {
+		return nil, fmt.Errorf("ble: advertising data %d bytes exceeds %d", len(b.AdvData), MaxAdvData)
+	}
+	pdu := make([]byte, 0, 2+6+len(b.AdvData))
+	pdu = append(pdu, PDUTypeAdvNonconnInd|0x40) // TxAdd: random address
+	pdu = append(pdu, byte(6+len(b.AdvData)))
+	pdu = append(pdu, b.AdvAddress[:]...)
+	pdu = append(pdu, b.AdvData...)
+	return pdu, nil
+}
+
+// CRC24 computes the BLE CRC over a PDU with the LFSR of §4.2: polynomial
+// x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1, seeded with 0x555555,
+// input LSB first. The returned value is transmitted LSB first.
+func CRC24(pdu []byte) uint32 {
+	crc := uint32(crcInit)
+	for _, b := range pdu {
+		for i := 0; i < 8; i++ {
+			inBit := uint32(b>>i) & 1
+			fb := (crc>>23)&1 ^ inBit
+			crc = (crc << 1) & 0xFFFFFF
+			if fb == 1 {
+				crc ^= 0x00065B // taps 10,9,6,4,3,1,0
+			}
+		}
+	}
+	return crc
+}
+
+// whitenerSeq produces n bytes of the data-whitening stream for a channel:
+// 7-bit LFSR x^7 + x^4 + 1 initialized with bit6=1 and the channel number
+// (§4.2), clocked per bit, LSB first.
+func whitenerSeq(channel, n int) []byte {
+	state := byte(0x40 | (channel & 0x3F))
+	out := make([]byte, n)
+	for i := range out {
+		var b byte
+		for bit := 0; bit < 8; bit++ {
+			msb := (state >> 6) & 1
+			b |= msb << bit
+			state = (state << 1) & 0x7F
+			if msb == 1 {
+				state ^= 0x11 // x^4 + 1 taps
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Whiten XORs data in place with the whitening stream for a channel and
+// returns it; applying it twice recovers the input.
+func Whiten(channel int, data []byte) []byte {
+	seq := whitenerSeq(channel, len(data))
+	for i := range data {
+		data[i] ^= seq[i]
+	}
+	return data
+}
+
+// AirBytes assembles the full over-the-air byte sequence for a channel:
+// preamble, access address, then the whitened PDU and CRC. All bytes are
+// transmitted LSB first by the modulator.
+func (b Beacon) AirBytes(channel int) ([]byte, error) {
+	pdu, err := b.PDU()
+	if err != nil {
+		return nil, err
+	}
+	crc := CRC24(pdu)
+	body := make([]byte, 0, len(pdu)+3)
+	body = append(body, pdu...)
+	body = append(body, byte(crc), byte(crc>>8), byte(crc>>16))
+	Whiten(channel, body)
+
+	out := make([]byte, 0, 5+len(body))
+	out = append(out, Preamble)
+	var aa [4]byte
+	binary.LittleEndian.PutUint32(aa[:], AccessAddress)
+	out = append(out, aa[:]...)
+	return append(out, body...), nil
+}
+
+// ParseAir inverts AirBytes: it validates the access address, de-whitens,
+// checks the CRC and returns the beacon fields.
+func ParseAir(channel int, air []byte) (Beacon, error) {
+	if len(air) < 5+2+6+3 {
+		return Beacon{}, fmt.Errorf("ble: air frame of %d bytes too short", len(air))
+	}
+	if air[0] != Preamble {
+		return Beacon{}, fmt.Errorf("ble: bad preamble %#02x", air[0])
+	}
+	if aa := binary.LittleEndian.Uint32(air[1:5]); aa != AccessAddress {
+		return Beacon{}, fmt.Errorf("ble: bad access address %#08x", aa)
+	}
+	body := append([]byte(nil), air[5:]...)
+	Whiten(channel, body)
+	hdr, length := body[0], int(body[1])
+	if hdr&0x0F != PDUTypeAdvNonconnInd {
+		return Beacon{}, fmt.Errorf("ble: unexpected PDU type %#x", hdr&0x0F)
+	}
+	if length < 6 || len(body) < 2+length+3 {
+		return Beacon{}, fmt.Errorf("ble: bad PDU length %d", length)
+	}
+	pdu := body[:2+length]
+	wantCRC := CRC24(pdu)
+	gotCRC := uint32(body[2+length]) | uint32(body[2+length+1])<<8 | uint32(body[2+length+2])<<16
+	if wantCRC != gotCRC {
+		return Beacon{}, fmt.Errorf("ble: CRC mismatch %06x != %06x", gotCRC, wantCRC)
+	}
+	var b Beacon
+	copy(b.AdvAddress[:], pdu[2:8])
+	b.AdvData = append([]byte(nil), pdu[8:]...)
+	return b, nil
+}
+
+// AirBits expands air bytes to bits in transmission order (LSB first).
+func AirBits(air []byte) []int {
+	bits := make([]int, 0, len(air)*8)
+	for _, b := range air {
+		for i := 0; i < 8; i++ {
+			bits = append(bits, int(b>>i)&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs bits (LSB first) back into bytes; len(bits) must be a
+// multiple of 8.
+func BitsToBytes(bits []int) []byte {
+	out := make([]byte, len(bits)/8)
+	for i, bit := range bits {
+		if bit != 0 {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}

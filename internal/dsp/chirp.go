@@ -1,0 +1,157 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// ChirpGen is the Chirp Generator block of the tinySDR LoRa modem (Fig. 6).
+// It synthesizes CSS chirp symbols with a frequency accumulator driving the
+// phase-accumulator/LUT datapath — the "squared phase accumulator and two
+// lookup tables for Sin and Cos" the paper describes. Because frequency
+// advances in discrete per-sample steps, chirps of different slopes are only
+// approximately orthogonal, which is the effect §6 of the paper measures.
+type ChirpGen struct {
+	// SF is the spreading factor, 6..12. A symbol spans 2^SF chips and
+	// encodes SF bits as a cyclic shift of the base upchirp.
+	SF int
+	// OSR is the oversampling ratio in samples per chip (a power of two).
+	// The radio interface runs at 4 MHz; after the FPGA front-end the
+	// stream is at OSR x bandwidth.
+	OSR int
+	// Ideal selects an infinite-precision waveform (float phase, exact
+	// exponentials) instead of the FPGA's LUT datapath. It models
+	// commercial silicon like the SX1276 when used as a comparator.
+	Ideal bool
+}
+
+// Validate reports whether the generator parameters are representable on the
+// tinySDR FPGA.
+func (g ChirpGen) Validate() error {
+	if g.SF < 6 || g.SF > 12 {
+		return fmt.Errorf("dsp: spreading factor %d out of LoRa range 6..12", g.SF)
+	}
+	if !IsPowerOfTwo(g.OSR) {
+		return fmt.Errorf("dsp: oversampling ratio %d must be a power of two", g.OSR)
+	}
+	return nil
+}
+
+// NumChips returns the number of chips per symbol, 2^SF.
+func (g ChirpGen) NumChips() int { return 1 << g.SF }
+
+// SymbolLen returns the number of samples per symbol.
+func (g ChirpGen) SymbolLen() int { return g.NumChips() * g.OSR }
+
+// Upchirp returns one symbol whose value is the given cyclic shift
+// (0 <= shift < 2^SF). Shift 0 is the base upchirp used in preambles.
+func (g ChirpGen) Upchirp(shift int) iq.Samples { return g.symbol(shift, false, g.SymbolLen()) }
+
+// Downchirp returns one base downchirp symbol (linearly decreasing
+// frequency), used in the LoRa start-of-frame delimiter and as the
+// demodulator's dechirp reference.
+func (g ChirpGen) Downchirp() iq.Samples { return g.symbol(0, true, g.SymbolLen()) }
+
+// QuarterDownchirp returns the fractional 0.25-symbol tail of the LoRa
+// start-of-frame delimiter (the packet header contains 2.25 downchirps).
+func (g ChirpGen) QuarterDownchirp() iq.Samples { return g.symbol(0, true, g.SymbolLen()/4) }
+
+func (g ChirpGen) symbol(shift int, down bool, count int) iq.Samples {
+	st := NewChirpStream(g)
+	return st.Symbol(shift, down, count)
+}
+
+// ChirpStream generates chirp symbols with phase continuity across symbol
+// boundaries, exactly as the FPGA's running phase accumulator does. A
+// phase-continuous preamble is what lets the demodulator detect symbols in
+// windows that straddle symbol boundaries without coherence loss.
+type ChirpStream struct {
+	g      ChirpGen
+	phase  uint32
+	phaseF float64
+}
+
+// NewChirpStream returns a stream for the given generator configuration,
+// validating it once up front.
+func NewChirpStream(g ChirpGen) *ChirpStream {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &ChirpStream{g: g}
+}
+
+// Symbol appends one chirp symbol of count samples with the given cyclic
+// shift and slope direction, continuing the accumulated phase.
+func (st *ChirpStream) Symbol(shift int, down bool, count int) iq.Samples {
+	g := st.g
+	s := g.SymbolLen()
+	out := make(iq.Samples, count)
+	m := shift * g.OSR % s
+	scale := 1 / (float64(s) * float64(g.OSR))
+	for n := 0; n < count; n++ {
+		// Instantaneous frequency in cycles/sample, swept across
+		// +-BW/2 and wrapped cyclically at the symbol boundary.
+		f := float64(m)*scale - 0.5/float64(g.OSR)
+		if down {
+			f = -f
+		}
+		if g.Ideal {
+			ang := 2 * math.Pi * st.phaseF
+			out[n] = complex(math.Cos(ang), math.Sin(ang))
+			st.phaseF += f
+			st.phaseF -= math.Floor(st.phaseF)
+		} else {
+			out[n] = lutSample(st.phase)
+			st.phase += uint32(int32(math.Round(f * (1 << 32))))
+		}
+		m++
+		if m == s {
+			m = 0
+		}
+	}
+	return out
+}
+
+// Upchirp appends one full upchirp symbol with the given shift.
+func (st *ChirpStream) Upchirp(shift int) iq.Samples {
+	return st.Symbol(shift, false, st.g.SymbolLen())
+}
+
+// Downchirp appends one full base downchirp symbol.
+func (st *ChirpStream) Downchirp() iq.Samples {
+	return st.Symbol(0, true, st.g.SymbolLen())
+}
+
+// Dechirp multiplies x by the conjugate of ref element-wise into a new
+// buffer — the Complex Multiplier block of the demodulator. The buffers must
+// have equal length.
+func Dechirp(x, ref iq.Samples) iq.Samples {
+	if len(x) != len(ref) {
+		panic(fmt.Sprintf("dsp: dechirp length mismatch %d != %d", len(x), len(ref)))
+	}
+	out := make(iq.Samples, len(x))
+	for i := range x {
+		r := ref[i]
+		out[i] = x[i] * complex(real(r), -imag(r))
+	}
+	return out
+}
+
+// FoldBins combines the FFT magnitudes of a dechirped oversampled symbol into
+// numChips decision bins. With oversampling, the energy of cyclic shift k
+// splits between FFT bins k and k-N (mod S); folding re-merges them so the
+// detector sees one peak per candidate shift.
+func FoldBins(mags []float64, numChips int) []float64 {
+	s := len(mags)
+	out := make([]float64, numChips)
+	if s == numChips {
+		copy(out, mags)
+		return out
+	}
+	for k := 0; k < numChips; k++ {
+		out[k] = mags[k] + mags[(s-numChips+k)%s]
+	}
+	return out
+}

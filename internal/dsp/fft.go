@@ -1,0 +1,115 @@
+// Package dsp implements the signal-processing blocks that run on the
+// tinySDR FPGA: an FFT (the Lattice IP core in the paper), FIR filters, a
+// phase-accumulator NCO with sin/cos lookup tables, chirp generation, and
+// spectral estimation for the evaluation harness.
+//
+// All blocks operate on iq.Samples and are deterministic.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// twiddle factor cache, keyed by FFT size.
+var (
+	twiddleMu    sync.Mutex
+	twiddleCache = map[int][]complex128{}
+)
+
+func twiddles(n int) []complex128 {
+	twiddleMu.Lock()
+	defer twiddleMu.Unlock()
+	if w, ok := twiddleCache[n]; ok {
+		return w
+	}
+	w := make([]complex128, n/2)
+	for i := range w {
+		ang := -2 * math.Pi * float64(i) / float64(n)
+		w[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	twiddleCache[n] = w
+	return w
+}
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x.
+// len(x) must be a positive power of two; FFT panics otherwise, mirroring
+// the fixed-size FFT core configured on the FPGA.
+func FFT(x iq.Samples) {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
+	}
+	if n == 1 {
+		return
+	}
+	bitReverse(x)
+	w := twiddles(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				t := w[k*step] * x[start+k+half]
+				u := x[start+k]
+				x[start+k] = u + t
+				x[start+k+half] = u - t
+			}
+		}
+	}
+}
+
+// IFFT computes the in-place inverse FFT of x with 1/N normalization.
+func IFFT(x iq.Samples) {
+	n := len(x)
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+	FFT(x)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+func bitReverse(x iq.Samples) {
+	n := len(x)
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+}
+
+// PeakBin returns the index and squared magnitude of the largest FFT bin.
+// It is the Symbol Detector block of the LoRa demodulator (Fig. 6b).
+func PeakBin(x iq.Samples) (bin int, power float64) {
+	for i, v := range x {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		if p > power {
+			power, bin = p, i
+		}
+	}
+	return bin, power
+}
+
+// Magnitudes returns the squared magnitude of each element.
+func Magnitudes(x iq.Samples) []float64 {
+	m := make([]float64, len(x))
+	for i, v := range x {
+		m[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return m
+}

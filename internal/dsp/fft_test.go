@@ -1,0 +1,175 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// naiveDFT is the O(n^2) reference implementation.
+func naiveDFT(x iq.Samples) iq.Samples {
+	n := len(x)
+	out := make(iq.Samples, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			acc += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func randomSamples(n int, seed int64) iq.Samples {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(iq.Samples, n)
+	for i := range s {
+		s[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return s
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := randomSamples(n, int64(n))
+		want := naiveDFT(x)
+		got := x.Clone()
+		FFT(got)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d bin %d: FFT=%v DFT=%v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFT(len 12) did not panic")
+		}
+	}()
+	FFT(make(iq.Samples, 12))
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	for _, n := range []int{4, 128, 1024} {
+		x := randomSamples(n, 7)
+		y := x.Clone()
+		FFT(y)
+		IFFT(y)
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d sample %d: round trip %v != %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2 for random inputs.
+	f := func(seed int64) bool {
+		x := randomSamples(256, seed)
+		var tPow float64
+		for _, v := range x {
+			tPow += real(v)*real(v) + imag(v)*imag(v)
+		}
+		y := x.Clone()
+		FFT(y)
+		var fPow float64
+		for _, v := range y {
+			fPow += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fPow /= 256
+		return math.Abs(tPow-fPow) < 1e-6*math.Max(1, tPow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomSamples(128, seed)
+		b := randomSamples(128, seed+1)
+		sum := make(iq.Samples, 128)
+		for i := range sum {
+			sum[i] = a[i] + 2*b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+2*b[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTToneLandsInSingleBin(t *testing.T) {
+	n := 512
+	bin := 73
+	x := make(iq.Samples, n)
+	for i := range x {
+		ang := 2 * math.Pi * float64(bin) * float64(i) / float64(n)
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	FFT(x)
+	peak, p := PeakBin(x)
+	if peak != bin {
+		t.Fatalf("peak at bin %d, want %d", peak, bin)
+	}
+	if math.Abs(p-float64(n)*float64(n)) > 1e-6*p {
+		t.Errorf("peak power %v, want %v", p, n*n)
+	}
+}
+
+func TestPeakBinEmptyAndFlat(t *testing.T) {
+	bin, p := PeakBin(nil)
+	if bin != 0 || p != 0 {
+		t.Errorf("PeakBin(nil) = %d,%v", bin, p)
+	}
+	bin, _ = PeakBin(iq.Samples{1, 1, 1})
+	if bin != 0 {
+		t.Errorf("flat input peak = %d, want first bin", bin)
+	}
+}
+
+func TestMagnitudes(t *testing.T) {
+	m := Magnitudes(iq.Samples{complex(3, 4), 0})
+	if m[0] != 25 || m[1] != 0 {
+		t.Errorf("Magnitudes = %v, want [25 0]", m)
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for n, want := range map[int]bool{1: true, 2: true, 1024: true, 0: false, -4: false, 12: false, 4096: true} {
+		if got := IsPowerOfTwo(n); got != want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func BenchmarkFFT256(b *testing.B)  { benchFFT(b, 256) }
+func BenchmarkFFT4096(b *testing.B) { benchFFT(b, 4096) }
+
+func benchFFT(b *testing.B, n int) {
+	x := randomSamples(n, 1)
+	buf := make(iq.Samples, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}

@@ -1,0 +1,161 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// FIR is a finite-impulse-response filter with real taps, matching the
+// filter structures synthesized on the tinySDR FPGA (the LoRa demodulator
+// uses a 14-tap low-pass instance).
+type FIR struct {
+	taps []float64
+}
+
+// NewFIR returns a filter with the given taps. It panics on an empty tap
+// set, which would be a synthesis error on hardware.
+func NewFIR(taps []float64) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: FIR requires at least one tap")
+	}
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t}
+}
+
+// NewLowpass designs an n-tap windowed-sinc low-pass filter with the given
+// normalized cutoff (cycles/sample, 0 < cutoff < 0.5) using a Hamming window,
+// normalized to unity DC gain.
+func NewLowpass(n int, cutoff float64) *FIR {
+	if n < 1 {
+		panic("dsp: lowpass needs at least one tap")
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		panic(fmt.Sprintf("dsp: lowpass cutoff %v out of range (0, 0.5)", cutoff))
+	}
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	var sum float64
+	for i := range taps {
+		x := float64(i) - mid
+		var v float64
+		if x == 0 {
+			v = 2 * cutoff
+		} else {
+			v = math.Sin(2*math.Pi*cutoff*x) / (math.Pi * x)
+		}
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1)) // Hamming
+		taps[i] = v
+		sum += v
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return &FIR{taps: taps}
+}
+
+// Taps returns a copy of the filter taps.
+func (f *FIR) Taps() []float64 {
+	t := make([]float64, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.taps) }
+
+// Filter convolves x with the taps and returns a buffer of the same length
+// (zero-padded edges, linear-phase alignment to the group delay).
+func (f *FIR) Filter(x iq.Samples) iq.Samples {
+	n := len(x)
+	out := make(iq.Samples, n)
+	delay := (len(f.taps) - 1) / 2
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for k, tap := range f.taps {
+			j := i + delay - k
+			if j >= 0 && j < n {
+				acc += x[j] * complex(tap, 0)
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// FilterReal convolves a real-valued sequence with the taps, with the same
+// alignment semantics as Filter.
+func (f *FIR) FilterReal(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	delay := (len(f.taps) - 1) / 2
+	for i := 0; i < n; i++ {
+		var acc float64
+		for k, tap := range f.taps {
+			j := i + delay - k
+			if j >= 0 && j < n {
+				acc += x[j] * tap
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Response returns the filter's power gain in dB at the given normalized
+// frequency (cycles/sample).
+func (f *FIR) Response(freq float64) float64 {
+	var re, im float64
+	for k, tap := range f.taps {
+		ang := -2 * math.Pi * freq * float64(k)
+		re += tap * math.Cos(ang)
+		im += tap * math.Sin(ang)
+	}
+	return iq.DB(re*re + im*im)
+}
+
+// Decimate low-pass filters x and keeps every factor-th sample. It models
+// the FPGA front-end that reduces the radio's 4 MHz stream to the protocol
+// bandwidth. factor must be >= 1.
+func Decimate(x iq.Samples, factor int) iq.Samples {
+	if factor < 1 {
+		panic("dsp: decimation factor must be >= 1")
+	}
+	if factor == 1 {
+		return x.Clone()
+	}
+	lp := NewLowpass(8*factor+1, 0.45/float64(factor))
+	filtered := lp.Filter(x)
+	out := make(iq.Samples, 0, len(x)/factor+1)
+	for i := 0; i < len(filtered); i += factor {
+		out = append(out, filtered[i])
+	}
+	return out
+}
+
+// NewGaussian designs the Gaussian pulse-shaping filter used by the BLE GFSK
+// modulator: bandwidth-time product bt, sps samples per symbol, truncated to
+// span symbols, normalized to unity DC gain.
+func NewGaussian(bt float64, sps, span int) *FIR {
+	if bt <= 0 || sps < 1 || span < 1 {
+		panic("dsp: invalid Gaussian filter parameters")
+	}
+	n := span*sps + 1
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	// Standard Gaussian pulse: h(t) = sqrt(2*pi/ln2)*B*exp(-2*pi^2*B^2*t^2/ln2)
+	// with B = bt / Tsym and t in symbol units.
+	alpha := 2 * math.Pi * math.Pi * bt * bt / math.Ln2
+	var sum float64
+	for i := range taps {
+		t := (float64(i) - mid) / float64(sps) // in symbols
+		taps[i] = math.Exp(-alpha * t * t)
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return &FIR{taps: taps}
+}

@@ -1,0 +1,196 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+func TestLowpassResponse(t *testing.T) {
+	f := NewLowpass(63, 0.1)
+	if g := f.Response(0); math.Abs(g) > 0.01 {
+		t.Errorf("DC gain = %v dB, want 0", g)
+	}
+	if g := f.Response(0.05); g < -1 {
+		t.Errorf("passband gain at 0.05 = %v dB, want > -1 dB", g)
+	}
+	if g := f.Response(0.2); g > -40 {
+		t.Errorf("stopband gain at 0.2 = %v dB, want < -40 dB", g)
+	}
+	if g := f.Response(0.45); g > -40 {
+		t.Errorf("stopband gain at 0.45 = %v dB, want < -40 dB", g)
+	}
+}
+
+func TestLowpassPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLowpass(0, 0.1) },
+		func() { NewLowpass(15, 0) },
+		func() { NewLowpass(15, 0.5) },
+		func() { NewFIR(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFilterPassesInBandTone(t *testing.T) {
+	f := NewLowpass(63, 0.1)
+	n := 1024
+	x := make(iq.Samples, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*0.03*float64(i)))
+	}
+	y := f.Filter(x)
+	// Ignore edge transients.
+	mid := y[100 : n-100]
+	if p := iq.Samples(mid).PowerDBm(); math.Abs(p) > 0.5 {
+		t.Errorf("in-band tone power after filter = %v dBm, want ~0", p)
+	}
+}
+
+func TestFilterRejectsOutOfBandTone(t *testing.T) {
+	f := NewLowpass(63, 0.1)
+	n := 1024
+	x := make(iq.Samples, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*0.35*float64(i)))
+	}
+	y := f.Filter(x)
+	mid := y[100 : n-100]
+	if p := iq.Samples(mid).PowerDBm(); p > -40 {
+		t.Errorf("out-of-band tone power after filter = %v dBm, want < -40", p)
+	}
+}
+
+func TestFilterLength(t *testing.T) {
+	f := NewLowpass(15, 0.2)
+	x := make(iq.Samples, 37)
+	if got := len(f.Filter(x)); got != 37 {
+		t.Errorf("Filter output length = %d, want 37", got)
+	}
+}
+
+func TestFilterRealMatchesComplex(t *testing.T) {
+	f := NewLowpass(21, 0.15)
+	xr := make([]float64, 128)
+	xc := make(iq.Samples, 128)
+	for i := range xr {
+		xr[i] = math.Sin(0.2 * float64(i))
+		xc[i] = complex(xr[i], 0)
+	}
+	yr := f.FilterReal(xr)
+	yc := f.Filter(xc)
+	for i := range yr {
+		if math.Abs(yr[i]-real(yc[i])) > 1e-12 {
+			t.Fatalf("sample %d: real path %v != complex path %v", i, yr[i], real(yc[i]))
+		}
+	}
+}
+
+func TestTapsCopySemantics(t *testing.T) {
+	orig := []float64{1, 2, 3}
+	f := NewFIR(orig)
+	orig[0] = 99
+	if f.Taps()[0] == 99 {
+		t.Error("NewFIR aliased caller slice")
+	}
+	taps := f.Taps()
+	taps[1] = -1
+	if f.Taps()[1] == -1 {
+		t.Error("Taps() exposed internal state")
+	}
+}
+
+func TestDecimatePreservesInBandTone(t *testing.T) {
+	// A tone at 0.02 cycles/sample decimated by 4 should appear at 0.08.
+	n := 4096
+	x := make(iq.Samples, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*0.02*float64(i)))
+	}
+	y := Decimate(x, 4)
+	if len(y) < n/4 {
+		t.Fatalf("decimated length %d too short", len(y))
+	}
+	spec := y[64 : len(y)-64]
+	buf := make(iq.Samples, 512)
+	copy(buf, spec)
+	FFT(buf)
+	peak, _ := PeakBin(buf)
+	wantBin := int(math.Round(0.08 * 512))
+	if peak != wantBin {
+		t.Errorf("decimated tone at bin %d, want %d", peak, wantBin)
+	}
+}
+
+func TestDecimateFactorOne(t *testing.T) {
+	x := randomSamples(64, 3)
+	y := Decimate(x, 1)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("factor-1 decimation must be identity")
+		}
+	}
+	// And it must be a copy, not an alias.
+	y[0] = 42
+	if x[0] == 42 {
+		t.Error("Decimate aliased its input")
+	}
+}
+
+func TestDecimatePanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Decimate(make(iq.Samples, 8), 0)
+}
+
+func TestGaussianTaps(t *testing.T) {
+	g := NewGaussian(0.5, 8, 4)
+	taps := g.Taps()
+	if len(taps) != 33 {
+		t.Fatalf("tap count = %d, want 33", len(taps))
+	}
+	var sum float64
+	for _, v := range taps {
+		sum += v
+		if v < 0 {
+			t.Fatal("Gaussian taps must be non-negative")
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("tap sum = %v, want 1", sum)
+	}
+	// Symmetry and peak at center.
+	for i := 0; i < len(taps)/2; i++ {
+		if math.Abs(taps[i]-taps[len(taps)-1-i]) > 1e-12 {
+			t.Fatalf("taps not symmetric at %d", i)
+		}
+	}
+	mid := len(taps) / 2
+	for i := 1; i <= mid; i++ {
+		if taps[mid-i] > taps[mid-i+1] {
+			t.Fatalf("taps not monotone toward center at %d", i)
+		}
+	}
+}
+
+func TestGaussianPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGaussian(0, 8, 4)
+}

@@ -1,0 +1,101 @@
+package dsp
+
+import (
+	"math"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// Spectrum is a power spectral estimate over [-SampleRate/2, SampleRate/2).
+type Spectrum struct {
+	// SampleRate is the sample rate of the analyzed signal in Hz.
+	SampleRate float64
+	// PowerDBm holds the per-bin power in dBm, DC-centered: bin 0 is
+	// -SampleRate/2 and bin len-1 approaches +SampleRate/2.
+	PowerDBm []float64
+}
+
+// Freq returns the center frequency in Hz of bin i (relative to the carrier).
+func (s Spectrum) Freq(i int) float64 {
+	n := len(s.PowerDBm)
+	return (float64(i) - float64(n)/2) * s.SampleRate / float64(n)
+}
+
+// Peak returns the bin index and power of the strongest component.
+func (s Spectrum) Peak() (bin int, dbm float64) {
+	dbm = math.Inf(-1)
+	for i, p := range s.PowerDBm {
+		if p > dbm {
+			dbm, bin = p, i
+		}
+	}
+	return bin, dbm
+}
+
+// SFDR returns the spurious-free dynamic range in dB: the gap between the
+// peak bin and the strongest bin outside +-guard bins around the peak.
+func (s Spectrum) SFDR(guard int) float64 {
+	peak, peakP := s.Peak()
+	worst := math.Inf(-1)
+	for i, p := range s.PowerDBm {
+		if i >= peak-guard && i <= peak+guard {
+			continue
+		}
+		if p > worst {
+			worst = p
+		}
+	}
+	return peakP - worst
+}
+
+// Welch estimates the power spectrum of x by averaging Hann-windowed
+// periodograms of length fftSize with 50% overlap. The estimate is
+// calibrated so a full-scale tone reads its true power in dBm.
+func Welch(x iq.Samples, fftSize int, sampleRate float64) Spectrum {
+	if !IsPowerOfTwo(fftSize) {
+		panic("dsp: Welch fftSize must be a power of two")
+	}
+	win := Hann(fftSize)
+	var coherentGain float64
+	for _, w := range win {
+		coherentGain += w
+	}
+	coherentGain /= float64(fftSize)
+
+	acc := make([]float64, fftSize)
+	segments := 0
+	step := fftSize / 2
+	for start := 0; start+fftSize <= len(x); start += step {
+		seg := make(iq.Samples, fftSize)
+		for i := range seg {
+			seg[i] = x[start+i] * complex(win[i], 0)
+		}
+		FFT(seg)
+		for i, v := range seg {
+			m := real(v)*real(v) + imag(v)*imag(v)
+			acc[i] += m
+		}
+		segments++
+	}
+	if segments == 0 {
+		// Input shorter than one segment: zero-pad a single window.
+		seg := make(iq.Samples, fftSize)
+		for i := 0; i < len(x); i++ {
+			seg[i] = x[i] * complex(win[i], 0)
+		}
+		FFT(seg)
+		for i, v := range seg {
+			acc[i] = real(v)*real(v) + imag(v)*imag(v)
+		}
+		segments = 1
+	}
+
+	norm := 1 / (float64(segments) * float64(fftSize) * float64(fftSize) * coherentGain * coherentGain)
+	out := Spectrum{SampleRate: sampleRate, PowerDBm: make([]float64, fftSize)}
+	for i := range acc {
+		// FFT-shift so the result is DC-centered.
+		src := (i + fftSize/2) % fftSize
+		out.PowerDBm[i] = iq.MilliwattsToDBm(acc[src] * norm)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationBroadcastSpeedup(t *testing.T) {
+	r := runExp(t, "ablation-broadcast")
+	// A 20-node fleet must see close to 20x from sharing the transfer;
+	// repair and per-node overheads keep it below the ideal.
+	if got := r.Metrics["speedup_x"]; got < 8 || got > 30 {
+		t.Errorf("broadcast speedup = %.1fx, want 8-30x for 20 nodes", got)
+	}
+	if r.Metrics["broadcast_s"] >= r.Metrics["sequential_s"] {
+		t.Error("broadcast slower than sequential")
+	}
+}
+
+func TestAblationPacketSizeTradeoff(t *testing.T) {
+	r := runExp(t, "ablation-packet")
+	// Strong link: 240 B beats 24 B (overhead dominates).
+	strong := func(size int) float64 { return r.Metrics[key(size, "strong")] }
+	atRange := func(size int) float64 { return r.Metrics[key(size, "range")] }
+	if strong(240) >= strong(24) {
+		t.Errorf("on a strong link 240 B (%.0f s) must beat 24 B (%.0f s)", strong(240), strong(24))
+	}
+	// At range: 60 B must beat 240 B (PER dominates).
+	if atRange(60) >= atRange(240) {
+		t.Errorf("at range 60 B (%.0f s) must beat 240 B (%.0f s)", atRange(60), atRange(240))
+	}
+	// And the paper's 60 B must be within 25% of the best size at range.
+	best := math.Inf(1)
+	for _, s := range []int{24, 40, 60, 120, 240} {
+		if v := atRange(s); v < best {
+			best = v
+		}
+	}
+	if atRange(60) > best*1.25 {
+		t.Errorf("60 B is %.0f s at range; best size achieves %.0f s", atRange(60), best)
+	}
+}
+
+func key(size int, link string) string {
+	return "s_" + itoa(size) + "_" + link
+}
+
+func itoa(v int) string {
+	switch v {
+	case 24:
+		return "24"
+	case 40:
+		return "40"
+	case 60:
+		return "60"
+	case 120:
+		return "120"
+	case 240:
+		return "240"
+	}
+	return "?"
+}
+
+func TestAblationCompressionGain(t *testing.T) {
+	r := runExp(t, "ablation-compression")
+	// The 579->99 kB compression should cut time and energy ~5-6x.
+	gain := r.Metrics["stored_s"] / r.Metrics["lzo_s"]
+	if gain < 4 || gain > 8 {
+		t.Errorf("compression time gain = %.1fx, want ≈5.8x", gain)
+	}
+	eGain := r.Metrics["stored_J"] / r.Metrics["lzo_J"]
+	if eGain < 4 || eGain > 8 {
+		t.Errorf("compression energy gain = %.1fx", eGain)
+	}
+}
+
+func TestAblationBlockSize(t *testing.T) {
+	r := runExp(t, "ablation-blocksize")
+	// Larger blocks compress at least as well (monotone non-increasing,
+	// within noise).
+	if r.Metrics["kB_5"] < r.Metrics["kB_30"]-1 {
+		t.Errorf("5 kB blocks (%.1f kB) compress better than 30 kB blocks (%.1f kB)",
+			r.Metrics["kB_5"], r.Metrics["kB_30"])
+	}
+	// All sizes stay in the calibrated regime.
+	for _, k := range []string{"kB_5", "kB_15", "kB_30", "kB_60"} {
+		if v := r.Metrics[k]; v < 80 || v > 130 {
+			t.Errorf("%s = %.1f kB outside plausible range", k, v)
+		}
+	}
+}
+
+func TestAblationRateAdaptation(t *testing.T) {
+	r := runExp(t, "ablation-adr")
+	// ADR delivers every node; fixed SF7 strands the far ones.
+	if got := r.Metrics["adr_delivered"]; got != 20 {
+		t.Errorf("ADR delivered %.0f/20", got)
+	}
+	if got := r.Metrics["sf7_delivered"]; got >= 20 {
+		t.Error("fixed SF7 should strand far nodes; campus too easy")
+	}
+	// ADR energy well below fixed SF12.
+	if r.Metrics["adr_mJ"] >= r.Metrics["sf12_mJ"]/2 {
+		t.Errorf("ADR %.2f mJ not clearly below SF12 %.2f mJ",
+			r.Metrics["adr_mJ"], r.Metrics["sf12_mJ"])
+	}
+}

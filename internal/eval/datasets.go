@@ -1,0 +1,234 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/uwsdr/tinysdr/internal/core"
+	"github.com/uwsdr/tinysdr/internal/power"
+	"github.com/uwsdr/tinysdr/internal/radio"
+)
+
+// Static comparison data from the paper's Tables 1 and 2 and Fig. 2. The
+// tinySDR rows are produced by the simulation models, not transcribed.
+
+// PlatformRow is one platform of Table 1.
+type PlatformRow struct {
+	Name        string
+	SleepPowerW float64 // negative = not available
+	Standalone  bool
+	OTA         bool
+	CostUSD     float64
+	MaxBWMHz    float64
+	ADCBits     int
+	SizeCm      string
+}
+
+// comparisonPlatforms are the non-tinySDR rows of Table 1.
+func comparisonPlatforms() []PlatformRow {
+	return []PlatformRow{
+		{"USRP E310", 2.820, true, false, 3000, 30.72, 12, "6.8x13.3"},
+		{"USRP B200mini", -1, false, false, 733, 30.72, 12, "5x8.3"},
+		{"bladeRF 2.0", 0.717, true, false, 720, 30.72, 12, "6.3x12.7"},
+		{"LimeSDR Mini", -1, false, false, 159, 30.72, 12, "3.1x6.9"},
+		{"PlutoSDR", -1, false, false, 149, 20, 12, "7.9x11.7"},
+		{"uSDR", 0.320, true, false, 150, 40, 8, "7x14.5"},
+		{"GalioT", 0.350, true, false, 60, 14.4, 8, "2.5x7"},
+	}
+}
+
+// Table1 renders the platform comparison with tinySDR's row measured from
+// the device model.
+func Table1(cfg Config) (*Result, error) {
+	d := core.New(core.Config{ID: 1})
+	d.Sleep()
+	sleepW := d.SystemPowerW()
+
+	rows := [][]string{}
+	format := func(p PlatformRow) []string {
+		sleep := "N/A"
+		if p.SleepPowerW >= 0 {
+			sleep = fmt.Sprintf("%.2f mW", p.SleepPowerW*1e3)
+		}
+		return []string{
+			p.Name, sleep, yesNo(p.Standalone), yesNo(p.OTA),
+			fmt.Sprintf("$%.0f", p.CostUSD),
+			fmt.Sprintf("%.2f", p.MaxBWMHz),
+			fmt.Sprintf("%d", p.ADCBits),
+			p.SizeCm,
+		}
+	}
+	for _, p := range comparisonPlatforms() {
+		rows = append(rows, format(p))
+	}
+	tiny := PlatformRow{
+		Name: "TinySDR", SleepPowerW: sleepW, Standalone: true, OTA: true,
+		CostUSD: bomTotalUSD(), MaxBWMHz: radio.SampleRate / 1e6,
+		ADCBits: radio.ADCBits, SizeCm: "3x5",
+	}
+	rows = append(rows, format(tiny))
+
+	worstRatio := 1e18
+	for _, p := range comparisonPlatforms() {
+		if p.SleepPowerW > 0 {
+			if r := p.SleepPowerW / sleepW; r < worstRatio {
+				worstRatio = r
+			}
+		}
+	}
+	text := RenderTable(
+		[]string{"Platform", "Sleep", "Standalone", "OTA", "Cost", "BW (MHz)", "ADC", "Size (cm)"},
+		rows)
+	text += fmt.Sprintf("\ntinySDR sleep power: %.1f µW — %.0fx below the best existing platform\n",
+		sleepW*1e6, worstRatio)
+	return &Result{
+		ID: "table1", Title: "SDR platform comparison", Text: text,
+		Metrics: map[string]float64{
+			"tinysdr_sleep_uW":  sleepW * 1e6,
+			"sleep_advantage_x": worstRatio,
+			"tinysdr_cost_usd":  tiny.CostUSD,
+		},
+	}, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// RadioModulePower is one platform of Fig. 2 (radio module draw only).
+type RadioModulePower struct {
+	Name       string
+	TXPowerDBm float64
+	TXW, RXW   float64
+}
+
+// Fig2 renders the per-platform radio module power comparison, with the
+// tinySDR row taken from the AT86RF215 model.
+func Fig2(cfg Config) (*Result, error) {
+	rows := []RadioModulePower{
+		{"UBX 40 (X310)", 14, 1.50, 1.20},
+		{"USRP E310", 10, 0.94, 0.60},
+		{"USRP B200", 10, 0.78, 0.50},
+		{"bladeRF 2.0", 10, 0.75, 0.46},
+		{"LimeSDR Mini", 10, 0.58, 0.38},
+		{"Pluto SDR", 10, 0.55, 0.30},
+		{"uSDR", 14, 0.40, 0.28},
+		{"GalioT", -1e9, -1, 0.28}, // receive-only
+	}
+	tinyTX := radio.TXPowerW(14)
+	tinyRX := 59e-3
+	table := [][]string{}
+	for _, r := range rows {
+		tx := "no TX"
+		if r.TXW >= 0 {
+			tx = fmt.Sprintf("%.0f mW @ %.0f dBm", r.TXW*1e3, r.TXPowerDBm)
+		}
+		table = append(table, []string{r.Name, tx, fmt.Sprintf("%.0f mW", r.RXW*1e3)})
+	}
+	table = append(table, []string{"TinySDR",
+		fmt.Sprintf("%.0f mW @ 14 dBm", tinyTX*1e3),
+		fmt.Sprintf("%.0f mW", tinyRX*1e3)})
+	text := RenderTable([]string{"Platform", "TX", "RX"}, table)
+	text += fmt.Sprintf("\ntinySDR radio: %.0f mW TX @14 dBm, %.0f mW RX — ≈5x below gateway-class I/Q radios\n",
+		tinyTX*1e3, tinyRX*1e3)
+	return &Result{
+		ID: "fig2", Title: "Radio module power", Text: text,
+		Metrics: map[string]float64{
+			"tinysdr_tx14_mW": tinyTX * 1e3,
+			"tinysdr_rx_mW":   tinyRX * 1e3,
+		},
+	}, nil
+}
+
+// Table2 renders the I/Q radio chip comparison (§3.1.1).
+func Table2(cfg Config) (*Result, error) {
+	rows := [][]string{
+		{"AD9361", "70-6000", "262", "$282"},
+		{"AD9363", "325-3800", "262", "$123"},
+		{"AD9364", "70-6000", "262", "$210"},
+		{"LMS7002M", "10-3500", "378", "$110"},
+		{"MAX2831", "2400-2500", "276", "$9"},
+		{"SX1257", "862-1020", "54", "$7.5"},
+		{"AT86RF215", "389.5-510, 779-1020, 2400-2483", "50", "$5.5"},
+	}
+	text := RenderTable([]string{"I/Q radio", "Frequency (MHz)", "RX power (mW)", "Cost"}, rows)
+	text += "\nAT86RF215: the only chip covering both ISM bands under $10 and under 100 mW\n"
+	return &Result{ID: "table2", Title: "I/Q radio modules", Text: text,
+		Metrics: map[string]float64{"at86rf215_rx_mW": 50, "at86rf215_cost": 5.5}}, nil
+}
+
+// Table3 renders the power-domain inventory from the PMU configuration.
+func Table3(cfg Config) (*Result, error) {
+	var rows [][]string
+	for _, d := range power.Domains() {
+		comps := ""
+		for i, c := range d.Components {
+			if i > 0 {
+				comps += ", "
+			}
+			comps += c
+		}
+		rows = append(rows, []string{
+			d.Domain.String(), fmt.Sprintf("%.1f V", d.VoltageV), d.Regulator,
+			fmt.Sprintf("%.2f µA", d.QuiescentA*1e6),
+			fmt.Sprintf("%.2f µA", d.ShutdownA*1e6),
+			comps,
+		})
+	}
+	text := RenderTable([]string{"Domain", "Voltage", "Regulator", "Iq on", "Iq off", "Components"}, rows)
+	return &Result{ID: "table3", Title: "Power domains", Text: text,
+		Metrics: map[string]float64{"domains": float64(len(power.Domains()))}}, nil
+}
+
+// BOMLine is one Table 5 entry.
+type BOMLine struct {
+	Group, Component string
+	PriceUSD         float64
+}
+
+// BOM returns the Table 5 cost breakdown at 1000 units.
+func BOM() []BOMLine {
+	return []BOMLine{
+		{"DSP", "FPGA (LFE5U-25F)", 8.69},
+		{"DSP", "Oscillator", 0.90},
+		{"IQ front-end", "Radio (AT86RF215)", 5.08},
+		{"IQ front-end", "Crystal", 0.53},
+		{"IQ front-end", "2.4 GHz balun", 0.36},
+		{"IQ front-end", "Sub-GHz balun", 0.30},
+		{"Backbone", "Radio (SX1276)", 4.50},
+		{"Backbone", "Crystal", 0.40},
+		{"Backbone", "Flash memory", 1.60},
+		{"MAC", "MCU (MSP432P401R)", 3.89},
+		{"MAC", "Crystals", 0.68},
+		{"RF", "Switch (ADG904)", 3.14},
+		{"RF", "Sub-GHz PA (SE2435L)", 1.54},
+		{"RF", "2.4 GHz PA (SKY66112)", 1.72},
+		{"Power", "Regulators", 3.70},
+		{"Support", "Passives and misc", 4.50},
+		{"Production", "PCB fabrication", 3.00},
+		{"Production", "Assembly", 10.00},
+	}
+}
+
+func bomTotalUSD() float64 {
+	var sum float64
+	for _, l := range BOM() {
+		sum += l.PriceUSD
+	}
+	return sum
+}
+
+// Table5 renders the cost breakdown and total.
+func Table5(cfg Config) (*Result, error) {
+	var rows [][]string
+	for _, l := range BOM() {
+		rows = append(rows, []string{l.Group, l.Component, fmt.Sprintf("$%.2f", l.PriceUSD)})
+	}
+	total := bomTotalUSD()
+	rows = append(rows, []string{"Total", "", fmt.Sprintf("$%.2f", total)})
+	text := RenderTable([]string{"Group", "Component", "Price"}, rows)
+	return &Result{ID: "table5", Title: "Cost breakdown", Text: text,
+		Metrics: map[string]float64{"total_usd": total}}, nil
+}

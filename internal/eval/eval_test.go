@@ -1,0 +1,314 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	r, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id {
+		t.Fatalf("result ID %q != %q", r.ID, id)
+	}
+	if strings.TrimSpace(r.Text) == "" {
+		t.Fatalf("%s: empty rendering", id)
+	}
+	return r
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %q", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	// Every table and figure of the paper must be covered.
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15a", "fig15b",
+	} {
+		if !ids[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestTable1SleepAdvantage(t *testing.T) {
+	r := runExp(t, "table1")
+	if r.Metrics["sleep_advantage_x"] < 10000 {
+		t.Errorf("sleep advantage = %.0fx, want >= 10000x (paper headline)", r.Metrics["sleep_advantage_x"])
+	}
+	if math.Abs(r.Metrics["tinysdr_sleep_uW"]-30) > 3 {
+		t.Errorf("sleep = %.1f µW", r.Metrics["tinysdr_sleep_uW"])
+	}
+}
+
+func TestFig2RadioPower(t *testing.T) {
+	r := runExp(t, "fig2")
+	if got := r.Metrics["tinysdr_tx14_mW"]; got < 170 || got > 190 {
+		t.Errorf("TX@14 = %.0f mW, want ≈179", got)
+	}
+	if got := r.Metrics["tinysdr_rx_mW"]; got != 59 {
+		t.Errorf("RX = %.0f mW, want 59", got)
+	}
+}
+
+func TestTable4Timings(t *testing.T) {
+	r := runExp(t, "table4")
+	checks := map[string]float64{
+		"sleep_to_radio_ms": 22,
+		"radio_setup_ms":    1.2,
+		"tx_to_rx_ms":       0.045,
+		"rx_to_tx_ms":       0.011,
+		"freq_switch_ms":    0.220,
+	}
+	for k, want := range checks {
+		if got := r.Metrics[k]; math.Abs(got-want) > want*0.1 {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestTable5Total(t *testing.T) {
+	r := runExp(t, "table5")
+	if got := r.Metrics["total_usd"]; math.Abs(got-54.53) > 0.01 {
+		t.Errorf("BOM total = $%.2f, want $54.53", got)
+	}
+}
+
+func TestFig8SpectrumClean(t *testing.T) {
+	r := runExp(t, "fig8")
+	if got := r.Metrics["sfdr_dB"]; got < 55 {
+		t.Errorf("SFDR = %.1f dB, want > 55 (no unexpected harmonics)", got)
+	}
+	if got := r.Metrics["peak_offset_MHz"]; math.Abs(got-0.5) > 0.01 {
+		t.Errorf("tone at %+.3f MHz, want +0.5", got)
+	}
+}
+
+func TestFig9PowerCurve(t *testing.T) {
+	r := runExp(t, "fig9")
+	if got := r.Metrics["p0dBm_mW"]; math.Abs(got-231) > 15 {
+		t.Errorf("system power @0 dBm = %.0f mW, want ≈231", got)
+	}
+	if got := r.Metrics["p14dBm_mW"]; math.Abs(got-283) > 15 {
+		t.Errorf("system power @14 dBm = %.0f mW, want ≈283", got)
+	}
+	// Flat below 0 dBm.
+	if d := r.Metrics["p0dBm_mW"] - r.Metrics["pm14dBm_mW"]; d > 10 {
+		t.Errorf("curve not flat at low power: delta %.1f mW", d)
+	}
+	// 2.4 GHz curve slightly above 900 MHz.
+	if r.Metrics["p14_24G_mW"] <= r.Metrics["p14dBm_mW"] {
+		t.Error("2.4 GHz curve must sit above 900 MHz")
+	}
+}
+
+func TestFig10Sensitivity(t *testing.T) {
+	r := runExp(t, "fig10")
+	// Paper: -126 dBm at SF8/BW125; allow the quick-mode Monte Carlo ±2 dB.
+	if got := r.Metrics["sens_TinySDR_bw125_dBm"]; math.Abs(got-(-126)) > 2 {
+		t.Errorf("BW125 sensitivity = %.1f dBm, want -126 ±2", got)
+	}
+	// tinySDR within 1 dB of the SX1276-class transmitter.
+	d := r.Metrics["sens_TinySDR_bw125_dBm"] - r.Metrics["sens_SX1276_bw125_dBm"]
+	if math.Abs(d) > 1 {
+		t.Errorf("TinySDR vs SX1276 delta = %.2f dB, want < 1", d)
+	}
+	// BW250 is ~3 dB less sensitive.
+	d = r.Metrics["sens_TinySDR_bw250_dBm"] - r.Metrics["sens_TinySDR_bw125_dBm"]
+	if d < 1.5 || d > 4.5 {
+		t.Errorf("BW250-BW125 gap = %.1f dB, want ≈3", d)
+	}
+}
+
+func TestFig11Sensitivity(t *testing.T) {
+	r := runExp(t, "fig11")
+	// Our full-precision FFT demodulator reaches 10% SER at the
+	// theoretical 256-ary noncoherent limit, 2-3 dB below the Semtech
+	// silicon's effective -126 dBm (see EXPERIMENTS.md). Accept the band
+	// between theory and the datasheet point.
+	if got := r.Metrics["sens_bw125_dBm"]; got < -131 || got > -125 {
+		t.Errorf("demod sensitivity = %.1f dBm, want in [-131, -125]", got)
+	}
+	// BW250 tracks ~3 dB above BW125.
+	gap := r.Metrics["sens_bw250_dBm"] - r.Metrics["sens_bw125_dBm"]
+	if gap < 1.5 || gap > 4.5 {
+		t.Errorf("BW gap = %.1f dB, want ≈3", gap)
+	}
+}
+
+func TestFig12BLESensitivity(t *testing.T) {
+	r := runExp(t, "fig12")
+	if got := r.Metrics["sensitivity_dBm"]; math.Abs(got-(-94)) > 2.5 {
+		t.Errorf("BLE sensitivity = %.1f dBm, want -94 ±2.5", got)
+	}
+	if d := math.Abs(r.Metrics["cc2650_delta_dB"]); d > 4 {
+		t.Errorf("CC2650 delta = %.1f dB", d)
+	}
+}
+
+func TestFig13HopGap(t *testing.T) {
+	r := runExp(t, "fig13")
+	for _, k := range []string{"gap1_us", "gap2_us"} {
+		if got := r.Metrics[k]; got < 220 || got > 300 {
+			t.Errorf("%s = %.0f µs, want ≈220", k, got)
+		}
+	}
+}
+
+func TestFig14OTAMeans(t *testing.T) {
+	r := runExp(t, "fig14")
+	cases := map[string]struct{ want, tol float64 }{
+		"mean_s_fpga_lora": {150, 30},
+		"mean_s_fpga_ble":  {59, 15},
+		"mean_s_mcu":       {39, 10},
+	}
+	for k, c := range cases {
+		if got := r.Metrics[k]; math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s = %.0f s, want %.0f ±%.0f", k, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestFig15aSensitivityLoss(t *testing.T) {
+	r := runExp(t, "fig15a")
+	// Paper: ~2 dB loss for BW125, ~0.5 dB for BW250. With a
+	// floating-point receive pipeline the equal-power interferer sits
+	// ~13 dB below the noise floor, so the measurable loss is near zero
+	// (see EXPERIMENTS.md); assert the reproducible shape: the BW125
+	// chain suffers at least as much as BW250, and both stay small.
+	l125, l250 := r.Metrics["loss125_dB"], r.Metrics["loss250_dB"]
+	if l125 < l250-0.3 {
+		t.Errorf("BW125 loss %.1f dB below BW250 loss %.1f dB; paper ordering violated", l125, l250)
+	}
+	if l125 > 4.5 || l250 > 3 {
+		t.Errorf("losses %.1f / %.1f dB implausibly large", l125, l250)
+	}
+}
+
+func TestFig15bInterferenceKnee(t *testing.T) {
+	r := runExp(t, "fig15b")
+	// Paper: degradation sets in around -116 dBm.
+	if got := r.Metrics["knee_dBm"]; got < -122 || got > -106 {
+		t.Errorf("knee = %.0f dBm, want ≈-116", got)
+	}
+}
+
+func TestSleepPowerExperiment(t *testing.T) {
+	r := runExp(t, "sleep")
+	if got := r.Metrics["sleep_uW"]; math.Abs(got-30) > 3 {
+		t.Errorf("sleep = %.1f µW", got)
+	}
+}
+
+func TestLoRaPacketPowerExperiment(t *testing.T) {
+	r := runExp(t, "lorapower")
+	cases := map[string]struct{ want, tol float64 }{
+		"tx_total_mW": {287, 20},
+		"tx_radio_mW": {179, 10},
+		"rx_total_mW": {186, 15},
+		"rx_radio_mW": {59, 3},
+	}
+	for k, c := range cases {
+		if got := r.Metrics[k]; math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s = %.0f, want %.0f ±%.0f", k, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestBLEBatteryLifeExperiment(t *testing.T) {
+	r := runExp(t, "blebattery")
+	// Paper: over 2 years at one beacon per second.
+	if got := r.Metrics["bypass_years"]; got < 2 {
+		t.Errorf("bypass lifetime = %.1f years, want > 2", got)
+	}
+	// The FPGA-boot-per-wake ablation must be far worse.
+	if r.Metrics["fpga_years"] >= r.Metrics["bypass_years"]/2 {
+		t.Errorf("FPGA mode %.1f years not clearly worse than bypass %.1f",
+			r.Metrics["fpga_years"], r.Metrics["bypass_years"])
+	}
+}
+
+func TestCompressionExperiment(t *testing.T) {
+	r := runExp(t, "compression")
+	if got := r.Metrics["decompress_ms"]; got > 450 {
+		t.Errorf("decompress = %.0f ms, exceeds the 450 ms budget", got)
+	}
+}
+
+func TestOTAEnergyExperiment(t *testing.T) {
+	r := runExp(t, "otaenergy")
+	if got := r.Metrics["lora_J"]; math.Abs(got-6.144) > 1.6 {
+		t.Errorf("LoRa update energy = %.2f J, want ≈6.1", got)
+	}
+	if got := r.Metrics["lora_updates"]; got < 1500 || got > 3000 {
+		t.Errorf("updates per battery = %.0f, want ≈2100", got)
+	}
+	if got := r.Metrics["lora_avg_uW"]; got < 45 || got > 100 {
+		t.Errorf("avg power @1/day = %.0f µW, want ≈71", got)
+	}
+}
+
+func TestConcurrentResourcesExperiment(t *testing.T) {
+	r := runExp(t, "concurrentres")
+	if got := r.Metrics["util_pct"]; got != 17 {
+		t.Errorf("utilization = %.0f%%, want 17", got)
+	}
+	if got := r.Metrics["power_mW"]; math.Abs(got-207) > 15 {
+		t.Errorf("power = %.0f mW, want ≈207", got)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 0.8, 0.2, 0}
+	got := Interpolate(x, y, 0.5)
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Interpolate = %v, want 1.5", got)
+	}
+	if !math.IsNaN(Interpolate(x, y, 2)) {
+		t.Error("non-crossing target must return NaN")
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable([]string{"A", "LongHeader"}, [][]string{{"xx", "y"}, {"z", "wwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("rule width mismatch")
+	}
+}
+
+func TestRenderXYEmpty(t *testing.T) {
+	out := RenderXY("t", "x", "y", nil, 20, 5)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty plot must say so")
+	}
+}

@@ -1,0 +1,126 @@
+// Package flash models the non-volatile storage on the tinySDR board: the
+// MX25R6435F 8 MB SPI NOR flash that holds FPGA bitstreams and MCU firmware
+// for the OTA system, and the microSD card reachable from the FPGA.
+//
+// The NOR model enforces real flash semantics: writes can only clear bits,
+// so regions must be erased (to 0xFF) before programming, and erases happen
+// in 4 KB sectors. Timing helpers expose transfer durations; models never
+// advance the simulation clock themselves.
+package flash
+
+import (
+	"fmt"
+	"time"
+)
+
+// MX25R6435F geometry and interface timing.
+const (
+	// Size is the flash capacity: 64 Mbit = 8 MB.
+	Size = 8 * 1024 * 1024
+	// SectorSize is the erase granularity.
+	SectorSize = 4096
+	// PageSize is the program granularity.
+	PageSize = 256
+
+	// spiWriteRate is the SPI programming throughput used by the OTA path.
+	spiWriteRate = 8e6 // bits/s effective, incl. page program time
+	// quadReadRate is the quad-SPI read rate the FPGA boots from:
+	// 62 MHz x 4 lines (§3.4), which yields the 22 ms configuration time.
+	quadReadRate = 62e6 * 4 // bits/s
+	// eraseTimePerSector is the typical 4 KB sector erase time.
+	eraseTimePerSector = 35 * time.Millisecond
+
+	// StandbyPowerW is the deep-power-down draw.
+	StandbyPowerW = 1.3e-6
+	// ActivePowerW is the draw during program/erase.
+	ActivePowerW = 15e-3
+	// ReadPowerW is the draw during quad-SPI read.
+	ReadPowerW = 10e-3
+)
+
+// Flash is one MX25R6435F device.
+type Flash struct {
+	data []byte
+}
+
+// New returns a flash chip in the erased state (all 0xFF), as shipped.
+func New() *Flash {
+	f := &Flash{data: make([]byte, Size)}
+	for i := range f.data {
+		f.data[i] = 0xFF
+	}
+	return f
+}
+
+func (f *Flash) bounds(addr, n int) error {
+	if addr < 0 || n < 0 || addr+n > Size {
+		return fmt.Errorf("flash: access [%#x, %#x) outside %d-byte device", addr, addr+n, Size)
+	}
+	return nil
+}
+
+// Erase resets whole sectors covering [addr, addr+n) to 0xFF. addr must be
+// sector-aligned, mirroring the real command set.
+func (f *Flash) Erase(addr, n int) error {
+	if addr%SectorSize != 0 {
+		return fmt.Errorf("flash: erase address %#x not sector-aligned", addr)
+	}
+	if err := f.bounds(addr, n); err != nil {
+		return err
+	}
+	end := addr + n
+	if rem := end % SectorSize; rem != 0 {
+		end += SectorSize - rem
+	}
+	if end > Size {
+		end = Size
+	}
+	for i := addr; i < end; i++ {
+		f.data[i] = 0xFF
+	}
+	return nil
+}
+
+// Program writes data at addr. NOR semantics: each written byte may only
+// clear bits of the stored byte; programming over non-erased data that would
+// require setting a bit fails, catching missing-erase protocol bugs.
+func (f *Flash) Program(addr int, data []byte) error {
+	if err := f.bounds(addr, len(data)); err != nil {
+		return err
+	}
+	for i, b := range data {
+		cur := f.data[addr+i]
+		if cur&b != b {
+			return fmt.Errorf("flash: program at %#x requires erase (stored %#02x, want %#02x)", addr+i, cur, b)
+		}
+		f.data[addr+i] = b
+	}
+	return nil
+}
+
+// Read copies n bytes starting at addr.
+func (f *Flash) Read(addr, n int) ([]byte, error) {
+	if err := f.bounds(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, f.data[addr:addr+n])
+	return out, nil
+}
+
+// ProgramTime returns how long SPI programming of n bytes takes.
+func ProgramTime(n int) time.Duration {
+	return time.Duration(float64(n*8) / spiWriteRate * float64(time.Second))
+}
+
+// QuadReadTime returns how long a quad-SPI read of n bytes takes — the
+// dominant term of the FPGA's 22 ms boot.
+func QuadReadTime(n int) time.Duration {
+	return time.Duration(float64(n*8) / quadReadRate * float64(time.Second))
+}
+
+// EraseTime returns how long erasing the sectors covering n bytes takes.
+func EraseTime(n int) time.Duration {
+	sectors := (n + SectorSize - 1) / SectorSize
+	return time.Duration(sectors) * eraseTimePerSector
+}

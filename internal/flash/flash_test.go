@@ -1,0 +1,165 @@
+package flash
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestNewFlashIsErased(t *testing.T) {
+	f := New()
+	got, err := f.Read(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xFF {
+			t.Fatalf("byte %d = %#x, want 0xFF", i, b)
+		}
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	f := New()
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if err := f.Program(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read back %x, want %x", got, data)
+	}
+}
+
+func TestProgramWithoutEraseFails(t *testing.T) {
+	f := New()
+	if err := f.Program(0, []byte{0x0F}); err != nil {
+		t.Fatal(err)
+	}
+	// 0x0F -> 0xF0 would need setting bits: must fail.
+	if err := f.Program(0, []byte{0xF0}); err == nil {
+		t.Fatal("overwrite without erase must fail")
+	}
+	// But clearing more bits is legal NOR behaviour.
+	if err := f.Program(0, []byte{0x0E}); err != nil {
+		t.Fatalf("bit-clearing program rejected: %v", err)
+	}
+}
+
+func TestEraseRestoresProgrammability(t *testing.T) {
+	f := New()
+	if err := f.Program(0, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Erase(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Program(0, []byte{0xAB}); err != nil {
+		t.Fatalf("program after erase failed: %v", err)
+	}
+}
+
+func TestEraseWholeSectors(t *testing.T) {
+	f := New()
+	if err := f.Program(SectorSize-1, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Program(SectorSize, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	// Erasing 1 byte at sector 0 wipes all of sector 0, not sector 1.
+	if err := f.Erase(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := f.Read(SectorSize-1, 1)
+	b1, _ := f.Read(SectorSize, 1)
+	if b0[0] != 0xFF {
+		t.Error("sector 0 tail not erased")
+	}
+	if b1[0] != 0x00 {
+		t.Error("sector 1 must be untouched")
+	}
+}
+
+func TestEraseAlignment(t *testing.T) {
+	f := New()
+	if err := f.Erase(1, 10); err == nil {
+		t.Fatal("unaligned erase must fail")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	f := New()
+	if err := f.Program(Size-1, []byte{1, 2}); err == nil {
+		t.Error("out-of-bounds program accepted")
+	}
+	if _, err := f.Read(-1, 4); err == nil {
+		t.Error("negative read accepted")
+	}
+	if err := f.Erase(Size, SectorSize); err == nil {
+		t.Error("out-of-bounds erase accepted")
+	}
+}
+
+func TestBitstreamFitsWithRoomForMultiple(t *testing.T) {
+	// §3.1.2: 8 MB stores multiple 579 kB bitstreams plus MCU programs.
+	const bitstream = 579 * 1024
+	const mcuProg = 256 * 1024
+	if n := Size / (bitstream + mcuProg); n < 9 {
+		t.Errorf("flash stores %d firmware pairs, want >= 9", n)
+	}
+}
+
+func TestQuadReadTimeMatchesBootBudget(t *testing.T) {
+	// Reading a 579 kB bitstream over 62 MHz quad SPI ≈ 19 ms, within the
+	// paper's 22 ms FPGA configuration time.
+	d := QuadReadTime(579 * 1024)
+	if d < 15*time.Millisecond || d > 22*time.Millisecond {
+		t.Errorf("quad read of bitstream = %v, want ≈19 ms", d)
+	}
+}
+
+func TestProgramTimeScalesLinearly(t *testing.T) {
+	if ProgramTime(2000) != 2*ProgramTime(1000) {
+		t.Error("program time must scale linearly")
+	}
+	if ProgramTime(0) != 0 {
+		t.Error("zero bytes take zero time")
+	}
+}
+
+func TestEraseTimeSectorGranular(t *testing.T) {
+	if EraseTime(1) != EraseTime(SectorSize) {
+		t.Error("sub-sector erase must cost one sector")
+	}
+	if EraseTime(SectorSize+1) != 2*EraseTime(SectorSize) {
+		t.Error("erase must round up to sectors")
+	}
+}
+
+func TestSDCard(t *testing.T) {
+	c := NewSDCard(1024)
+	if err := c.Append(1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(100); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if c.Used() != 1000 {
+		t.Errorf("used = %d", c.Used())
+	}
+	if err := c.Append(-1); err == nil {
+		t.Fatal("negative append accepted")
+	}
+}
+
+func TestSDCardSustainsIQStream(t *testing.T) {
+	// The §3.2.2 design argument: SPI mode must sustain the 104 Mbps
+	// real-time sample stream.
+	if !CanSustainIQStream() {
+		t.Fatal("SPI mode cannot sustain the I/Q stream; contradicts §3.2.2")
+	}
+}

@@ -1,0 +1,108 @@
+package fpga
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Synthetic bitstream generation. We cannot ship Lattice's proprietary
+// images, so the generator builds 579 kB configuration files whose
+// *compressibility structure* matches real ECP5 images:
+//
+//   - a global configuration region that every design carries (I/O banks,
+//     the LVDS interface, clock tree, PLL dividers) — high-entropy and
+//     roughly constant;
+//   - per-LUT configuration frames for mapped logic — high-entropy, in
+//     proportion to design utilization;
+//   - unused frames — zeros, which LZO collapses.
+//
+// The region sizes are calibrated against the paper's §5.3 measurements
+// (LoRa image compresses 579→99 kB at ~15% utilization, BLE 579→40 kB at
+// 3%), giving intercept ≈27 kB and slope ≈475 kB per unit utilization.
+const (
+	globalConfigBytes = 23 * 1024
+	bytesPerUtilUnit  = 451 * 1024
+	frameSize         = 128
+	framePayload      = frameSize - 4
+	bodyStart         = 32 * 1024
+)
+
+// SynthBitstream generates the configuration image for a design. The same
+// design always yields the same image (seeded by design name), so OTA
+// transfers are reproducible.
+func SynthBitstream(d *Design) []byte {
+	img := make([]byte, BitstreamSize)
+	h := fnv.New64a()
+	h.Write([]byte(d.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	// Preamble: device ID and image header.
+	copy(img, []byte("LFE5U-25F-6BG256C\x00BITSTREAM\x00"))
+	binary.LittleEndian.PutUint32(img[28:], uint32(d.LUTs()))
+
+	// Global configuration region: always-present high-entropy content.
+	rng.Read(img[64 : 64+globalConfigBytes])
+
+	// Logic frames: utilization-proportional high-entropy frames spread
+	// evenly across the frame space; everything else stays zero.
+	util := float64(d.LUTs()) / float64(TotalLUTs)
+	usedBytes := int(util * bytesPerUtilUnit)
+	usedFrames := usedBytes / framePayload
+	totalFrames := (BitstreamSize - bodyStart) / frameSize
+	if usedFrames > totalFrames {
+		usedFrames = totalFrames
+	}
+	if usedFrames > 0 {
+		stride := float64(totalFrames) / float64(usedFrames)
+		for k := 0; k < usedFrames; k++ {
+			fi := int(float64(k) * stride)
+			off := bodyStart + fi*frameSize
+			img[off] = 0xA5
+			img[off+1] = byte(fi >> 8)
+			img[off+2] = byte(fi)
+			img[off+3] = byte(fi>>8) ^ byte(fi) ^ 0xA5
+			rng.Read(img[off+4 : off+frameSize])
+		}
+	}
+	return img
+}
+
+// SynthMCUFirmware generates a synthetic MSP432 firmware image of the given
+// size, structured like real Cortex-M binaries: a vector table, a code
+// region of repetitive opcode patterns, a high-entropy literal/data pool,
+// and a zero-filled tail. The mix is calibrated to the paper's 78→24 kB
+// compression result (§5.3).
+func SynthMCUFirmware(size int, seed int64) []byte {
+	img := make([]byte, size)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Vector table: 64 word-aligned handler addresses in a narrow range.
+	for i := 0; i < 64 && i*4+4 <= size; i++ {
+		binary.LittleEndian.PutUint32(img[i*4:], 0x01000000|uint32(rng.Intn(1<<16))<<2|1)
+	}
+
+	// Code region (~64% of the image): compiled code is dominated by
+	// repeated idioms (prologues, epilogues, call sequences); model it as
+	// draws from a pool of pre-generated basic blocks so LZ finds long
+	// matches, as it does on real binaries.
+	codeEnd := size * 64 / 100
+	blocks := make([][]byte, 48)
+	for i := range blocks {
+		b := make([]byte, 48+rng.Intn(96))
+		rng.Read(b)
+		blocks[i] = b
+	}
+	for off := 256; off < codeEnd; {
+		b := blocks[rng.Intn(len(blocks))]
+		n := copy(img[off:min(off+len(b), codeEnd)], b)
+		off += n
+	}
+
+	// Literal pool / calibration tables (~22%): high entropy.
+	poolEnd := size * 86 / 100
+	rng.Read(img[codeEnd:poolEnd])
+
+	// The rest stays zero (.bss template / padding).
+	return img
+}

@@ -1,0 +1,87 @@
+package fpga
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/lzo"
+)
+
+func TestBitstreamSizeAndDeterminism(t *testing.T) {
+	d := LoRaTRXDesign(8)
+	a := SynthBitstream(d)
+	if len(a) != BitstreamSize {
+		t.Fatalf("bitstream size = %d, want %d", len(a), BitstreamSize)
+	}
+	b := SynthBitstream(d)
+	if !bytes.Equal(a, b) {
+		t.Error("bitstream generation not deterministic")
+	}
+	// Different designs give different images.
+	c := SynthBitstream(BLEBeaconDesign())
+	if bytes.Equal(a, c) {
+		t.Error("distinct designs produced identical bitstreams")
+	}
+}
+
+func TestBitstreamCompressionMatchesPaper(t *testing.T) {
+	// §5.3: the LoRa image compresses to ≈99 kB, the BLE image to ≈40 kB.
+	// Accept ±15% — the paper itself notes the ratio varies with content.
+	cases := []struct {
+		design *Design
+		wantKB float64
+	}{
+		{LoRaTRXDesign(8), 99},
+		{BLEBeaconDesign(), 40},
+	}
+	for _, c := range cases {
+		img := SynthBitstream(c.design)
+		blocks := lzo.CompressBlocks(img, 30*1024)
+		gotKB := float64(lzo.CompressedSize(blocks)) / 1024
+		if gotKB < c.wantKB*0.85 || gotKB > c.wantKB*1.15 {
+			t.Errorf("%s: compressed = %.1f kB, want %.0f ±15%%", c.design.Name, gotKB, c.wantKB)
+		}
+		// And the blocks must reassemble exactly.
+		back, err := lzo.DecompressBlocks(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, img) {
+			t.Fatalf("%s: image corrupted by block pipeline", c.design.Name)
+		}
+	}
+}
+
+func TestBitstreamCompressionMonotonicInUtilization(t *testing.T) {
+	// More logic -> bigger compressed image.
+	small := lzo.CompressedSize(lzo.CompressBlocks(SynthBitstream(SingleToneDesign()), 30*1024))
+	mid := lzo.CompressedSize(lzo.CompressBlocks(SynthBitstream(LoRaRXDesign(8)), 30*1024))
+	big := lzo.CompressedSize(lzo.CompressBlocks(SynthBitstream(ConcurrentRXDesign(8, 8)), 30*1024))
+	if !(small < mid && mid < big) {
+		t.Errorf("compressed sizes not monotonic: %d, %d, %d", small, mid, big)
+	}
+}
+
+func TestMCUFirmwareCompressionMatchesPaper(t *testing.T) {
+	// §5.3: 78 kB MCU programs compress to ≈24 kB.
+	img := SynthMCUFirmware(78*1024, 42)
+	if len(img) != 78*1024 {
+		t.Fatalf("firmware size = %d", len(img))
+	}
+	blocks := lzo.CompressBlocks(img, 30*1024)
+	gotKB := float64(lzo.CompressedSize(blocks)) / 1024
+	if gotKB < 24*0.8 || gotKB > 24*1.2 {
+		t.Errorf("MCU firmware compressed = %.1f kB, want 24 ±20%%", gotKB)
+	}
+}
+
+func TestMCUFirmwareDeterministicBySeed(t *testing.T) {
+	a := SynthMCUFirmware(4096, 7)
+	b := SynthMCUFirmware(4096, 7)
+	if !bytes.Equal(a, b) {
+		t.Error("firmware not deterministic")
+	}
+	if bytes.Equal(a, SynthMCUFirmware(4096, 8)) {
+		t.Error("different seeds identical")
+	}
+}

@@ -1,0 +1,79 @@
+package fpga
+
+import (
+	"fmt"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// sampleBytes is the storage cost of one I/Q sample in embedded RAM: two
+// 13-bit components padded to 32 bits, matching the LVDS word layout.
+const sampleBytes = 4
+
+// FIFO is the embedded-SRAM sample buffer between the I/Q deserializer and
+// the signal-processing blocks (§3.2.2). Capacity is bounded by the 126 kB
+// of block RAM.
+type FIFO struct {
+	buf   iq.Samples
+	head  int
+	count int
+}
+
+// NewFIFO returns a FIFO holding capacityBytes of samples. It fails if the
+// request exceeds the embedded RAM budget.
+func NewFIFO(capacityBytes int) (*FIFO, error) {
+	if capacityBytes <= 0 || capacityBytes > TotalBRAMBytes {
+		return nil, fmt.Errorf("fpga: FIFO of %d bytes exceeds %d-byte embedded RAM", capacityBytes, TotalBRAMBytes)
+	}
+	return &FIFO{buf: make(iq.Samples, capacityBytes/sampleBytes)}, nil
+}
+
+// Cap returns the capacity in samples.
+func (f *FIFO) Cap() int { return len(f.buf) }
+
+// Len returns the number of buffered samples.
+func (f *FIFO) Len() int { return f.count }
+
+// Push appends one sample; it reports false on overflow (the hardware
+// asserts an overflow flag and drops the sample).
+func (f *FIFO) Push(s complex128) bool {
+	if f.count == len(f.buf) {
+		return false
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = s
+	f.count++
+	return true
+}
+
+// PushAll pushes a buffer, returning how many samples fit.
+func (f *FIFO) PushAll(s iq.Samples) int {
+	for i, x := range s {
+		if !f.Push(x) {
+			return i
+		}
+	}
+	return len(s)
+}
+
+// Pop removes and returns the oldest sample; ok is false when empty.
+func (f *FIFO) Pop() (s complex128, ok bool) {
+	if f.count == 0 {
+		return 0, false
+	}
+	s = f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	return s, true
+}
+
+// PopAll drains the FIFO into a new buffer.
+func (f *FIFO) PopAll() iq.Samples {
+	out := make(iq.Samples, 0, f.count)
+	for {
+		s, ok := f.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, s)
+	}
+}

@@ -1,0 +1,126 @@
+// Package iq provides complex baseband sample types and the power/amplitude
+// conversions used throughout the tinySDR simulation.
+//
+// Conventions:
+//   - A sample is a complex128 whose squared magnitude is instantaneous power
+//     in milliwatts. An amplitude of 1.0 therefore corresponds to 0 dBm.
+//   - Sample rates are in hertz, frequencies in hertz, powers in dBm unless a
+//     name says otherwise.
+//
+// The package also models the 13-bit ADC/DAC datapath of the AT86RF215 radio
+// used on the tinySDR board: see Quantize.
+package iq
+
+import "math"
+
+// Samples is a buffer of complex baseband samples.
+type Samples []complex128
+
+// Clone returns a copy of s.
+func (s Samples) Clone() Samples {
+	c := make(Samples, len(s))
+	copy(c, s)
+	return c
+}
+
+// Power returns the mean power of the buffer in linear units (milliwatts).
+// It returns 0 for an empty buffer.
+func (s Samples) Power() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, x := range s {
+		re, im := real(x), imag(x)
+		acc += re*re + im*im
+	}
+	return acc / float64(len(s))
+}
+
+// PowerDBm returns the mean power of the buffer in dBm.
+// It returns -inf for an empty or all-zero buffer.
+func (s Samples) PowerDBm() float64 {
+	return WattsToDBm(s.Power() / 1e3)
+}
+
+// Scale multiplies every sample by the real gain g, in place, and returns s.
+func (s Samples) Scale(g float64) Samples {
+	for i := range s {
+		s[i] *= complex(g, 0)
+	}
+	return s
+}
+
+// ScaleToDBm rescales the buffer so its mean power equals the given level in
+// dBm, in place, and returns s. A zero-power buffer is returned unchanged.
+func (s Samples) ScaleToDBm(dbm float64) Samples {
+	p := s.Power()
+	if p == 0 {
+		return s
+	}
+	target := DBmToMilliwatts(dbm)
+	return s.Scale(math.Sqrt(target / p))
+}
+
+// Add adds o into s element-wise, in place, up to the shorter length, and
+// returns s. This models superposition of concurrent transmissions.
+func (s Samples) Add(o Samples) Samples {
+	n := min(len(s), len(o))
+	for i := 0; i < n; i++ {
+		s[i] += o[i]
+	}
+	return s
+}
+
+// AddAt adds o into s starting at sample offset, clipping to s's bounds.
+func (s Samples) AddAt(offset int, o Samples) Samples {
+	if offset < 0 {
+		o = o[min(-offset, len(o)):]
+		offset = 0
+	}
+	for i := 0; i < len(o) && offset+i < len(s); i++ {
+		s[offset+i] += o[i]
+	}
+	return s
+}
+
+// Envelope returns the magnitude of each sample (units of sqrt(mW)).
+func (s Samples) Envelope() []float64 {
+	env := make([]float64, len(s))
+	for i, x := range s {
+		env[i] = math.Hypot(real(x), imag(x))
+	}
+	return env
+}
+
+// DBmToMilliwatts converts dBm to milliwatts.
+func DBmToMilliwatts(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattsToDBm converts milliwatts to dBm. Zero or negative input yields -inf.
+func MilliwattsToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// DBmToWatts converts dBm to watts.
+func DBmToWatts(dbm float64) float64 { return DBmToMilliwatts(dbm) / 1e3 }
+
+// WattsToDBm converts watts to dBm. Zero or negative input yields -inf.
+func WattsToDBm(w float64) float64 { return MilliwattsToDBm(w * 1e3) }
+
+// DBmToAmplitude returns the sample amplitude whose power is the given dBm
+// level under the package's 1.0 == 0 dBm convention.
+func DBmToAmplitude(dbm float64) float64 { return math.Sqrt(DBmToMilliwatts(dbm)) }
+
+// DB converts a linear power ratio to decibels.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }

@@ -1,0 +1,234 @@
+package iq
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPowerOfKnownSignal(t *testing.T) {
+	// A constant amplitude-1 signal has power 1 mW == 0 dBm.
+	s := make(Samples, 100)
+	for i := range s {
+		s[i] = 1
+	}
+	if got := s.Power(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Power() = %v, want 1", got)
+	}
+	if got := s.PowerDBm(); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("PowerDBm() = %v, want 0", got)
+	}
+}
+
+func TestPowerEmptyBuffer(t *testing.T) {
+	var s Samples
+	if got := s.Power(); got != 0 {
+		t.Errorf("Power() of empty = %v, want 0", got)
+	}
+	if got := s.PowerDBm(); !math.IsInf(got, -1) {
+		t.Errorf("PowerDBm() of empty = %v, want -inf", got)
+	}
+}
+
+func TestScaleToDBm(t *testing.T) {
+	s := make(Samples, 256)
+	for i := range s {
+		phase := 2 * math.Pi * float64(i) / 16
+		s[i] = cmplx.Exp(complex(0, phase)) * 3.7
+	}
+	for _, want := range []float64{-120, -50, 0, 14} {
+		s.ScaleToDBm(want)
+		if got := s.PowerDBm(); !almostEqual(got, want, 1e-9) {
+			t.Errorf("after ScaleToDBm(%v), PowerDBm() = %v", want, got)
+		}
+	}
+}
+
+func TestScaleToDBmZeroSignal(t *testing.T) {
+	s := make(Samples, 8) // all zero
+	s.ScaleToDBm(0)       // must not produce NaN
+	for i, x := range s {
+		if cmplx.IsNaN(x) {
+			t.Fatalf("sample %d is NaN after scaling zero buffer", i)
+		}
+	}
+}
+
+func TestAddSuperposition(t *testing.T) {
+	a := Samples{1, 2, 3}
+	b := Samples{10, 20, 30, 40}
+	a.Add(b)
+	want := Samples{11, 22, 33}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+}
+
+func TestAddAt(t *testing.T) {
+	s := make(Samples, 5)
+	s.AddAt(2, Samples{1, 1, 1, 1, 1}) // clips at the end
+	want := Samples{0, 0, 1, 1, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("s[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+	s2 := make(Samples, 3)
+	s2.AddAt(-2, Samples{5, 6, 7, 8}) // negative offset clips the head
+	want2 := Samples{7, 8, 0}
+	for i := range want2 {
+		if s2[i] != want2[i] {
+			t.Errorf("s2[%d] = %v, want %v", i, s2[i], want2[i])
+		}
+	}
+}
+
+func TestConversionsRoundTrip(t *testing.T) {
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 200) // keep in a physical range
+		back := MilliwattsToDBm(DBmToMilliwatts(dbm))
+		return almostEqual(back, dbm, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmToWattsKnownValues(t *testing.T) {
+	cases := []struct{ dbm, watts float64 }{
+		{0, 1e-3},
+		{30, 1},
+		{-30, 1e-6},
+		{14, 25.118864315095822e-3},
+	}
+	for _, c := range cases {
+		if got := DBmToWatts(c.dbm); !almostEqual(got, c.watts, c.watts*1e-9) {
+			t.Errorf("DBmToWatts(%v) = %v, want %v", c.dbm, got, c.watts)
+		}
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 100)
+		return almostEqual(DB(FromDB(db)), db, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmplitudePowerConsistency(t *testing.T) {
+	// A buffer filled with DBmToAmplitude(p) must measure p dBm.
+	for _, p := range []float64{-126, -94, -30, 0, 14, 30} {
+		s := make(Samples, 64)
+		amp := DBmToAmplitude(p)
+		for i := range s {
+			s[i] = complex(amp, 0)
+		}
+		if got := s.PowerDBm(); !almostEqual(got, p, 1e-9) {
+			t.Errorf("PowerDBm() = %v, want %v", got, p)
+		}
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	s := Samples{complex(3, 4), complex(0, -2)}
+	env := s.Envelope()
+	if !almostEqual(env[0], 5, 1e-12) || !almostEqual(env[1], 2, 1e-12) {
+		t.Errorf("Envelope() = %v, want [5 2]", env)
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	// Quantizing twice must equal quantizing once.
+	s := make(Samples, 257)
+	for i := range s {
+		s[i] = complex(math.Sin(float64(i)*0.7), math.Cos(float64(i)*1.3)) * 0.9
+	}
+	once := Quantize(s.Clone(), ADCBits, 1.0)
+	twice := Quantize(once.Clone(), ADCBits, 1.0)
+	for i := range once {
+		if once[i] != twice[i] {
+			t.Fatalf("sample %d changed on second quantization: %v vs %v", i, once[i], twice[i])
+		}
+	}
+}
+
+func TestQuantizeErrorBound(t *testing.T) {
+	// Max quantization error for in-range samples is half a step.
+	s := make(Samples, 1000)
+	for i := range s {
+		s[i] = complex(math.Sin(float64(i)*0.1)*0.8, math.Cos(float64(i)*0.23)*0.8)
+	}
+	orig := s.Clone()
+	Quantize(s, ADCBits, 1.0)
+	step := 1.0 / 4096
+	for i := range s {
+		if math.Abs(real(s[i])-real(orig[i])) > step/2+1e-15 {
+			t.Fatalf("sample %d I error exceeds half step", i)
+		}
+		if math.Abs(imag(s[i])-imag(orig[i])) > step/2+1e-15 {
+			t.Fatalf("sample %d Q error exceeds half step", i)
+		}
+	}
+}
+
+func TestQuantizeClipping(t *testing.T) {
+	s := Samples{complex(2.0, -2.0)}
+	Quantize(s, ADCBits, 1.0)
+	if real(s[0]) > 1.0 || imag(s[0]) < -1.0 {
+		t.Errorf("clipping failed: %v", s[0])
+	}
+}
+
+func TestQuantizeSNR(t *testing.T) {
+	// 13-bit quantization of a full-scale tone should give SNR near
+	// 6.02*13 + 1.76 ~= 80 dB. Allow generous margin.
+	n := 4096
+	s := make(Samples, n)
+	for i := range s {
+		ph := 2 * math.Pi * 371 * float64(i) / float64(n)
+		s[i] = cmplx.Exp(complex(0, ph)) * 0.9
+	}
+	q := Quantize(s.Clone(), ADCBits, 1.0)
+	var errPow float64
+	for i := range s {
+		d := q[i] - s[i]
+		errPow += real(d)*real(d) + imag(d)*imag(d)
+	}
+	errPow /= float64(n)
+	snr := DB(s.Power() / errPow)
+	if snr < 70 {
+		t.Errorf("13-bit quantization SNR = %.1f dB, want > 70 dB", snr)
+	}
+}
+
+func TestQuantizeCodeRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		v = math.Mod(v, 1.0) // in range
+		code := QuantizeCode(v, ADCBits, 1.0)
+		if code < -4096 || code > 4095 {
+			return false
+		}
+		back := CodeToValue(code, ADCBits, 1.0)
+		return math.Abs(back-v) <= 1.0/4096
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeCodeClips(t *testing.T) {
+	if got := QuantizeCode(10, ADCBits, 1.0); got != 4095 {
+		t.Errorf("positive clip = %d, want 4095", got)
+	}
+	if got := QuantizeCode(-10, ADCBits, 1.0); got != -4096 {
+		t.Errorf("negative clip = %d, want -4096", got)
+	}
+}

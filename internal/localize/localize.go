@@ -1,0 +1,246 @@
+// Package localize implements the IoT localization building blocks §7 of
+// the TinySDR paper proposes: because the platform exposes raw I/Q samples,
+// it measures carrier phase, and phase across multiple frequencies in the
+// 900 MHz / 2.4 GHz bands yields range; ranges from distributed anchors
+// yield position.
+//
+// The pipeline is multi-carrier phase ranging: a transmitter emits tones at
+// several carrier frequencies; the receiver measures each tone's phase from
+// its I/Q samples; pairwise phase differences Δφ = 2π·Δf·d/c encode the
+// range d modulo c/Δf, and a coarse-to-fine unwrap across frequency pairs
+// recovers the absolute range. Trilateration over three or more anchors
+// then solves for position.
+package localize
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"github.com/uwsdr/tinysdr/internal/channel"
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// C is the propagation speed in meters per second.
+const C = 299792458.0
+
+// Ranger measures range by multi-carrier phase. Freqs are the carrier
+// frequencies the exciter steps through (within the platform's bands).
+type Ranger struct {
+	// Freqs are the measurement carriers in Hz, at least two, distinct.
+	Freqs []float64
+	// SamplesPerTone is the I/Q integration length per carrier.
+	SamplesPerTone int
+}
+
+// NewRanger validates and returns a ranger.
+func NewRanger(freqs []float64, samplesPerTone int) (*Ranger, error) {
+	if len(freqs) < 2 {
+		return nil, fmt.Errorf("localize: need at least two carriers, got %d", len(freqs))
+	}
+	seen := map[float64]bool{}
+	for _, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("localize: non-positive carrier %v", f)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("localize: duplicate carrier %v", f)
+		}
+		seen[f] = true
+	}
+	if samplesPerTone < 8 {
+		return nil, fmt.Errorf("localize: %d samples per tone too few", samplesPerTone)
+	}
+	return &Ranger{Freqs: append([]float64(nil), freqs...), SamplesPerTone: samplesPerTone}, nil
+}
+
+// UnambiguousRange returns the maximum resolvable distance: c over the
+// smallest pairwise frequency difference.
+func (r *Ranger) UnambiguousRange() float64 {
+	minDiff := math.Inf(1)
+	fs := append([]float64(nil), r.Freqs...)
+	sort.Float64s(fs)
+	for i := 1; i < len(fs); i++ {
+		if d := fs[i] - fs[i-1]; d < minDiff {
+			minDiff = d
+		}
+	}
+	return C / minDiff
+}
+
+// phaseAt returns the ideal received carrier phase for a range.
+func phaseAt(freqHz, d float64) float64 {
+	ph := -2 * math.Pi * freqHz * d / C
+	return math.Mod(ph, 2*math.Pi)
+}
+
+// SimulatePhases produces the phase measurements a tinySDR receiver makes
+// at distance d from the exciter, with receiver noise at the channel's
+// floor and the tone received at rssiDBm. One complex correlation per
+// carrier — exactly what the FPGA computes from the I/Q stream.
+func (r *Ranger) SimulatePhases(d, rssiDBm float64, ch *channel.AWGN) []float64 {
+	phases := make([]float64, len(r.Freqs))
+	amp := iq.DBmToAmplitude(rssiDBm)
+	for i, f := range r.Freqs {
+		ph := phaseAt(f, d)
+		tone := make(iq.Samples, r.SamplesPerTone)
+		rot := cmplx.Exp(complex(0, ph))
+		for k := range tone {
+			tone[k] = rot * complex(amp, 0)
+		}
+		tone.Add(ch.Noise(len(tone)))
+		// Coherent integration: arg of the mean.
+		var acc complex128
+		for _, x := range tone {
+			acc += x
+		}
+		phases[i] = cmplx.Phase(acc)
+	}
+	return phases
+}
+
+// EstimateRange recovers distance from per-carrier phases via
+// coarse-to-fine unwrapping: the smallest frequency gap fixes the
+// unambiguous estimate, and each larger gap refines it within its own
+// wavelength.
+func (r *Ranger) EstimateRange(phases []float64) (float64, error) {
+	if len(phases) != len(r.Freqs) {
+		return 0, fmt.Errorf("localize: %d phases for %d carriers", len(phases), len(r.Freqs))
+	}
+	type pair struct {
+		df  float64
+		dph float64
+	}
+	var pairs []pair
+	for i := 0; i < len(r.Freqs); i++ {
+		for j := i + 1; j < len(r.Freqs); j++ {
+			df := r.Freqs[j] - r.Freqs[i]
+			dph := phases[j] - phases[i]
+			if df < 0 {
+				df, dph = -df, -dph
+			}
+			pairs = append(pairs, pair{df: df, dph: dph})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].df < pairs[j].df })
+
+	// Each pair gives d ≡ -dph·c/(2π·df) (mod c/df).
+	frac := func(p pair) float64 {
+		lambda := C / p.df
+		d := -p.dph * C / (2 * math.Pi * p.df)
+		d = math.Mod(d, lambda)
+		if d < 0 {
+			d += lambda
+		}
+		return d
+	}
+	est := frac(pairs[0])
+	for _, p := range pairs[1:] {
+		lambda := C / p.df
+		fine := frac(p)
+		k := math.Round((est - fine) / lambda)
+		est = k*lambda + fine
+	}
+	if est < 0 {
+		return 0, fmt.Errorf("localize: negative range %v; phases inconsistent", est)
+	}
+	return est, nil
+}
+
+// Anchor is a reference node at a known position (meters).
+type Anchor struct {
+	X, Y float64
+}
+
+// Trilaterate solves 2D position from anchor ranges by Gauss-Newton least
+// squares. It needs at least three non-collinear anchors.
+func Trilaterate(anchors []Anchor, ranges []float64) (x, y float64, err error) {
+	if len(anchors) < 3 {
+		return 0, 0, fmt.Errorf("localize: need >= 3 anchors, got %d", len(anchors))
+	}
+	if len(anchors) != len(ranges) {
+		return 0, 0, fmt.Errorf("localize: %d anchors, %d ranges", len(anchors), len(ranges))
+	}
+	if collinear(anchors) {
+		return 0, 0, fmt.Errorf("localize: anchors are collinear")
+	}
+	// Start from the anchor centroid.
+	for _, a := range anchors {
+		x += a.X
+		y += a.Y
+	}
+	x /= float64(len(anchors))
+	y /= float64(len(anchors))
+
+	for iter := 0; iter < 100; iter++ {
+		// Normal equations J^T J Δ = -J^T r for the range residuals.
+		var jtj00, jtj01, jtj11, jtr0, jtr1 float64
+		for i, a := range anchors {
+			dx, dy := x-a.X, y-a.Y
+			dist := math.Hypot(dx, dy)
+			if dist < 1e-9 {
+				dist = 1e-9
+			}
+			res := dist - ranges[i]
+			j0, j1 := dx/dist, dy/dist
+			jtj00 += j0 * j0
+			jtj01 += j0 * j1
+			jtj11 += j1 * j1
+			jtr0 += j0 * res
+			jtr1 += j1 * res
+		}
+		det := jtj00*jtj11 - jtj01*jtj01
+		if math.Abs(det) < 1e-12 {
+			return 0, 0, fmt.Errorf("localize: degenerate geometry")
+		}
+		dx := (-jtr0*jtj11 + jtr1*jtj01) / det
+		dy := (jtr0*jtj01 - jtr1*jtj00) / det
+		x += dx
+		y += dy
+		if math.Hypot(dx, dy) < 1e-6 {
+			break
+		}
+	}
+	return x, y, nil
+}
+
+func collinear(anchors []Anchor) bool {
+	if len(anchors) < 3 {
+		return true
+	}
+	a, b := anchors[0], anchors[1]
+	for _, c := range anchors[2:] {
+		cross := (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+		if math.Abs(cross) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// System is a distributed localization deployment: anchors that each range
+// to the target over their own channel — the "large MIMO sensing system"
+// direction §7 sketches.
+type System struct {
+	Anchors []Anchor
+	Ranger  *Ranger
+}
+
+// Locate simulates ranging from every anchor to the target at (tx, ty) and
+// solves for the position. RSSI per anchor follows the supplied function
+// (e.g. a path-loss model); seed drives the noise.
+func (s *System) Locate(tx, ty float64, rssiAt func(d float64) float64, floorDBm float64, seed int64) (x, y float64, err error) {
+	ranges := make([]float64, len(s.Anchors))
+	for i, a := range s.Anchors {
+		d := math.Hypot(tx-a.X, ty-a.Y)
+		ch := channel.NewAWGN(seed+int64(i)*101, floorDBm)
+		phases := s.Ranger.SimulatePhases(d, rssiAt(d), ch)
+		est, err := s.Ranger.EstimateRange(phases)
+		if err != nil {
+			return 0, 0, fmt.Errorf("localize: anchor %d: %w", i, err)
+		}
+		ranges[i] = est
+	}
+	return Trilaterate(s.Anchors, ranges)
+}

@@ -1,0 +1,166 @@
+package localize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/uwsdr/tinysdr/internal/channel"
+)
+
+// testFreqs spans 2 MHz steps over 16 MHz in the 900 MHz band: 150 m
+// unambiguous range, sub-meter resolution from the widest pair.
+func testFreqs() []float64 {
+	return []float64{902e6, 904e6, 910e6, 918e6}
+}
+
+func testRanger(t *testing.T) *Ranger {
+	t.Helper()
+	r, err := NewRanger(testFreqs(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRangerValidation(t *testing.T) {
+	if _, err := NewRanger([]float64{915e6}, 64); err == nil {
+		t.Error("single carrier accepted")
+	}
+	if _, err := NewRanger([]float64{915e6, 915e6}, 64); err == nil {
+		t.Error("duplicate carriers accepted")
+	}
+	if _, err := NewRanger([]float64{915e6, -1}, 64); err == nil {
+		t.Error("negative carrier accepted")
+	}
+	if _, err := NewRanger(testFreqs(), 2); err == nil {
+		t.Error("too-short integration accepted")
+	}
+}
+
+func TestUnambiguousRange(t *testing.T) {
+	r := testRanger(t)
+	// Smallest gap 2 MHz -> ~150 m.
+	if got := r.UnambiguousRange(); math.Abs(got-149.9) > 1 {
+		t.Errorf("unambiguous range = %v m, want ≈150", got)
+	}
+}
+
+func TestRangeEstimationNoiselessExact(t *testing.T) {
+	r := testRanger(t)
+	// Quiet channel: floor far below the tone.
+	ch := channel.NewAWGN(1, -200)
+	for _, d := range []float64{0.5, 3, 17.2, 42, 80, 125} {
+		phases := r.SimulatePhases(d, -60, ch)
+		got, err := r.EstimateRange(phases)
+		if err != nil {
+			t.Fatalf("d=%v: %v", d, err)
+		}
+		if math.Abs(got-d) > 0.05 {
+			t.Errorf("d=%v: estimated %v", d, got)
+		}
+	}
+}
+
+func TestRangeEstimationWithNoise(t *testing.T) {
+	r := testRanger(t)
+	// 20 dB post-integration SNR regime: floor -90, tone -80, 256 samples
+	// of coherent gain.
+	ch := channel.NewAWGN(7, -90)
+	var worst float64
+	for _, d := range []float64{5, 25, 60, 110} {
+		phases := r.SimulatePhases(d, -80, ch)
+		got, err := r.EstimateRange(phases)
+		if err != nil {
+			t.Fatalf("d=%v: %v", d, err)
+		}
+		if e := math.Abs(got - d); e > worst {
+			worst = e
+		}
+	}
+	if worst > 2 {
+		t.Errorf("worst range error %v m at 10 dB SNR, want < 2 m", worst)
+	}
+}
+
+func TestEstimateRangeValidatesInput(t *testing.T) {
+	r := testRanger(t)
+	if _, err := r.EstimateRange([]float64{1, 2}); err == nil {
+		t.Error("wrong phase count accepted")
+	}
+}
+
+func TestTrilaterateExact(t *testing.T) {
+	anchors := []Anchor{{0, 0}, {100, 0}, {0, 100}, {100, 100}}
+	f := func(xRaw, yRaw float64) bool {
+		tx := math.Mod(math.Abs(xRaw), 100)
+		ty := math.Mod(math.Abs(yRaw), 100)
+		ranges := make([]float64, len(anchors))
+		for i, a := range anchors {
+			ranges[i] = math.Hypot(tx-a.X, ty-a.Y)
+		}
+		x, y, err := Trilaterate(anchors, ranges)
+		return err == nil && math.Hypot(x-tx, y-ty) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrilaterateNoisyRanges(t *testing.T) {
+	anchors := []Anchor{{0, 0}, {80, 0}, {40, 70}}
+	tx, ty := 30.0, 25.0
+	ranges := make([]float64, len(anchors))
+	for i, a := range anchors {
+		ranges[i] = math.Hypot(tx-a.X, ty-a.Y) + []float64{0.4, -0.3, 0.2}[i]
+	}
+	x, y, err := Trilaterate(anchors, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Hypot(x-tx, y-ty); e > 1.5 {
+		t.Errorf("position error %v m with ±0.4 m range noise", e)
+	}
+}
+
+func TestTrilaterateRejectsDegenerate(t *testing.T) {
+	if _, _, err := Trilaterate([]Anchor{{0, 0}, {1, 1}}, []float64{1, 1}); err == nil {
+		t.Error("two anchors accepted")
+	}
+	collinearAnchors := []Anchor{{0, 0}, {10, 0}, {20, 0}}
+	if _, _, err := Trilaterate(collinearAnchors, []float64{5, 5, 5}); err == nil {
+		t.Error("collinear anchors accepted")
+	}
+	if _, _, err := Trilaterate([]Anchor{{0, 0}, {1, 0}, {0, 1}}, []float64{1, 1}); err == nil {
+		t.Error("mismatched ranges accepted")
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	// Four tinySDR anchors on a 100 m courtyard locate a target from
+	// phase measurements over a noisy channel.
+	r := testRanger(t)
+	sys := &System{
+		Anchors: []Anchor{{0, 0}, {100, 0}, {0, 100}, {100, 100}},
+		Ranger:  r,
+	}
+	rssiAt := func(d float64) float64 { return -60 - 20*math.Log10(math.Max(d, 1)) }
+	x, y, err := sys.Locate(34, 61, rssiAt, -100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Hypot(x-34, y-61); e > 2 {
+		t.Errorf("localization error %v m, want < 2 m", e)
+	}
+}
+
+func TestSystemDeterministic(t *testing.T) {
+	r := testRanger(t)
+	sys := &System{Anchors: []Anchor{{0, 0}, {50, 0}, {0, 50}}, Ranger: r}
+	rssiAt := func(d float64) float64 { return -70 }
+	x1, y1, err1 := sys.Locate(10, 20, rssiAt, -95, 9)
+	x2, y2, err2 := sys.Locate(10, 20, rssiAt, -95, 9)
+	if err1 != nil || err2 != nil || x1 != x2 || y1 != y2 {
+		t.Error("localization not deterministic for fixed seed")
+	}
+}

@@ -1,0 +1,174 @@
+package lora
+
+// Hamming forward error correction over nibbles (§4.1 transport chain).
+// LoRa encodes each 4-bit nibble into a 4+CR bit codeword:
+//
+//	4/5: one overall parity bit (error detection)
+//	4/6: two parity bits (detection)
+//	4/7: Hamming(7,4) (corrects any single bit)
+//	4/8: Hamming(8,4) (corrects one bit, detects two)
+//
+// Codeword layout, LSB first: d0 d1 d2 d3 [parity bits].
+
+func parity(v uint16) uint16 {
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+// hammingEncode encodes a nibble at the given coding rate.
+func hammingEncode(nibble byte, cr CodingRate) uint16 {
+	d := uint16(nibble & 0xF)
+	d0, d1, d2, d3 := d&1, (d>>1)&1, (d>>2)&1, (d>>3)&1
+	p1 := d0 ^ d1 ^ d3
+	p2 := d0 ^ d2 ^ d3
+	p3 := d1 ^ d2 ^ d3
+	switch cr {
+	case CR45:
+		return d | (d0^d1^d2^d3)<<4
+	case CR46:
+		return d | p1<<4 | p2<<5
+	case CR47:
+		return d | p1<<4 | p2<<5 | p3<<6
+	case CR48:
+		cw := d | p1<<4 | p2<<5 | p3<<6
+		return cw | parity(cw)<<7
+	default:
+		panic("lora: invalid coding rate")
+	}
+}
+
+// hammingDecode decodes a codeword, correcting single-bit errors when the
+// rate supports it. ok reports whether the codeword was consistent (after
+// any correction).
+func hammingDecode(cw uint16, cr CodingRate) (nibble byte, ok bool) {
+	switch cr {
+	case CR45:
+		return byte(cw & 0xF), parity(cw&0x1F) == 0
+	case CR46:
+		d := cw & 0xF
+		d0, d1, d2, d3 := d&1, (d>>1)&1, (d>>2)&1, (d>>3)&1
+		okP := (d0^d1^d3) == (cw>>4)&1 && (d0^d2^d3) == (cw>>5)&1
+		return byte(d), okP
+	case CR47:
+		corrected, _, recovered := correct74(cw & 0x7F)
+		return corrected, recovered
+	case CR48:
+		overall := parity(cw & 0xFF)
+		corrected, hadErr, recovered := correct74(cw & 0x7F)
+		if !recovered {
+			return corrected, false
+		}
+		if hadErr && overall == 0 {
+			// Syndrome reported an error but overall parity is
+			// clean: a double error the (8,4) code detects.
+			return corrected, false
+		}
+		return corrected, true
+	default:
+		panic("lora: invalid coding rate")
+	}
+}
+
+// correct74 corrects a Hamming(7,4) codeword. hadErr reports whether a bit
+// was flipped; recovered is false only for syndromes that cannot occur from
+// a single-bit error (impossible for (7,4): every nonzero syndrome maps to
+// one position, so recovered is always true here).
+func correct74(cw uint16) (nibble byte, hadErr, recovered bool) {
+	d0, d1, d2, d3 := cw&1, (cw>>1)&1, (cw>>2)&1, (cw>>3)&1
+	p1, p2, p3 := (cw>>4)&1, (cw>>5)&1, (cw>>6)&1
+	s1 := p1 ^ d0 ^ d1 ^ d3
+	s2 := p2 ^ d0 ^ d2 ^ d3
+	s3 := p3 ^ d1 ^ d2 ^ d3
+	syndrome := s1 | s2<<1 | s3<<2
+	// Map syndrome to the erroneous bit position in our layout.
+	// s1 covers {d0,d1,d3,p1}; s2 covers {d0,d2,d3,p2}; s3 covers {d1,d2,d3,p3}.
+	var flip uint16
+	switch syndrome {
+	case 0b000:
+		return byte(cw & 0xF), false, true
+	case 0b011:
+		flip = 1 << 0 // d0: in s1+s2
+	case 0b101:
+		flip = 1 << 1 // d1: in s1+s3
+	case 0b110:
+		flip = 1 << 2 // d2: in s2+s3
+	case 0b111:
+		flip = 1 << 3 // d3: in all
+	case 0b001:
+		flip = 1 << 4 // p1 only
+	case 0b010:
+		flip = 1 << 5 // p2 only
+	case 0b100:
+		flip = 1 << 6 // p3 only
+	}
+	cw ^= flip
+	return byte(cw & 0xF), true, true
+}
+
+// crc16 computes the CCITT CRC-16 (poly 0x1021) over data — the payload CRC
+// of the LoRa frame (Fig. 5).
+func crc16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// headerChecksum computes the 8-bit checksum protecting the explicit
+// header's three nibbles.
+func headerChecksum(n0, n1, n2 byte) byte {
+	c := n0<<4 | n1
+	c ^= n2<<2 | n2>>2
+	c ^= 0xA5 // fixed mask so an all-zero header is not self-consistent
+	return c
+}
+
+// whitening: LoRa scrambles payload bytes with a PN9 sequence so the air
+// waveform has no long runs. LFSR x^9 + x^5 + 1, seed 0x1FF.
+func whitenSequence(n int) []byte {
+	out := make([]byte, n)
+	state := uint16(0x1FF)
+	for i := range out {
+		var b byte
+		for bit := 0; bit < 8; bit++ {
+			b |= byte(state&1) << bit
+			fb := (state & 1) ^ ((state >> 5) & 1)
+			state = state>>1 | fb<<8
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// whiten XORs data with the PN9 sequence in place and returns it; the
+// operation is an involution (apply twice to recover).
+func whiten(data []byte) []byte {
+	seq := whitenSequence(len(data))
+	for i := range data {
+		data[i] ^= seq[i]
+	}
+	return data
+}
+
+// grayEncode returns the Gray code of v.
+func grayEncode(v int) int { return v ^ (v >> 1) }
+
+// grayDecode inverts grayEncode.
+func grayDecode(g int) int {
+	v := g
+	for s := 1; s < 32; s <<= 1 {
+		v ^= v >> s
+	}
+	return v
+}

@@ -1,0 +1,229 @@
+package lora
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingRoundTripAllRates(t *testing.T) {
+	for _, cr := range []CodingRate{CR45, CR46, CR47, CR48} {
+		for n := 0; n < 16; n++ {
+			cw := hammingEncode(byte(n), cr)
+			if cw >= 1<<uint(cr.CodewordBits()) {
+				t.Fatalf("CR %v: codeword %#x wider than %d bits", cr, cw, cr.CodewordBits())
+			}
+			got, ok := hammingDecode(cw, cr)
+			if !ok || got != byte(n) {
+				t.Fatalf("CR %v nibble %d: decode = %d, ok=%v", cr, n, got, ok)
+			}
+		}
+	}
+}
+
+func TestHammingSingleErrorCorrection(t *testing.T) {
+	// CR 4/7 and 4/8 must correct every single-bit error.
+	for _, cr := range []CodingRate{CR47, CR48} {
+		for n := 0; n < 16; n++ {
+			cw := hammingEncode(byte(n), cr)
+			for bit := 0; bit < cr.CodewordBits(); bit++ {
+				got, ok := hammingDecode(cw^(1<<uint(bit)), cr)
+				if !ok || got != byte(n) {
+					t.Fatalf("CR %v nibble %d bit %d: got %d ok=%v", cr, n, bit, got, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestHammingSingleErrorDetection(t *testing.T) {
+	// CR 4/5 must flag any single-bit error.
+	for n := 0; n < 16; n++ {
+		cw := hammingEncode(byte(n), CR45)
+		for bit := 0; bit < 5; bit++ {
+			if _, ok := hammingDecode(cw^(1<<uint(bit)), CR45); ok {
+				t.Fatalf("CR 4/5 nibble %d bit %d: error not detected", n, bit)
+			}
+		}
+	}
+}
+
+func TestHammingDoubleErrorDetectionCR48(t *testing.T) {
+	// (8,4) flags double errors rather than miscorrecting silently.
+	detected := 0
+	total := 0
+	for n := 0; n < 16; n++ {
+		cw := hammingEncode(byte(n), CR48)
+		for b1 := 0; b1 < 8; b1++ {
+			for b2 := b1 + 1; b2 < 8; b2++ {
+				total++
+				if _, ok := hammingDecode(cw^(1<<uint(b1))^(1<<uint(b2)), CR48); !ok {
+					detected++
+				}
+			}
+		}
+	}
+	if detected != total {
+		t.Errorf("double errors detected %d/%d, want all", detected, total)
+	}
+}
+
+func TestCodingRateStrings(t *testing.T) {
+	if CR45.String() != "4/5" || CR48.String() != "4/8" {
+		t.Error("coding rate strings wrong")
+	}
+	if CR45.CodewordBits() != 5 || CR48.CodewordBits() != 8 {
+		t.Error("codeword widths wrong")
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CCITT (init 0x0000) of "123456789" is 0x31C3.
+	if got := crc16([]byte("123456789")); got != 0x31C3 {
+		t.Errorf("crc16 = %#04x, want 0x31C3", got)
+	}
+	if got := crc16(nil); got != 0 {
+		t.Errorf("crc16(nil) = %#04x, want 0", got)
+	}
+}
+
+func TestCRC16DetectsCorruption(t *testing.T) {
+	f := func(data []byte, idx int, flip byte) bool {
+		if len(data) == 0 || flip == 0 {
+			return true
+		}
+		idx = (idx%len(data) + len(data)) % len(data)
+		orig := crc16(data)
+		mut := append([]byte(nil), data...)
+		mut[idx] ^= flip
+		return crc16(mut) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhitenInvolution(t *testing.T) {
+	f := func(data []byte) bool {
+		orig := append([]byte(nil), data...)
+		whiten(data)
+		whiten(data)
+		return bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhitenBreaksRuns(t *testing.T) {
+	// Whitening an all-zero payload must produce balanced bits.
+	data := make([]byte, 512)
+	whiten(data)
+	ones := 0
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			ones += int(b>>i) & 1
+		}
+	}
+	frac := float64(ones) / (512 * 8)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("whitened ones fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestWhitenSequencePeriodic(t *testing.T) {
+	// PN9 has period 511 bits; the byte sequence must not be trivially
+	// repeating at short lags.
+	seq := whitenSequence(128)
+	for lag := 1; lag <= 8; lag++ {
+		same := 0
+		for i := lag; i < len(seq); i++ {
+			if seq[i] == seq[i-lag] {
+				same++
+			}
+		}
+		if same > len(seq)/4 {
+			t.Errorf("whitening sequence repeats at lag %d", lag)
+		}
+	}
+}
+
+func TestGrayRoundTrip(t *testing.T) {
+	for v := 0; v < 4096; v++ {
+		if got := grayDecode(grayEncode(v)); got != v {
+			t.Fatalf("gray round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestGrayAdjacencyProperty(t *testing.T) {
+	// Consecutive values differ in exactly one bit after Gray encoding —
+	// the property that makes ±1 FFT-bin errors single-bit errors.
+	for v := 0; v < 1023; v++ {
+		diff := grayEncode(v) ^ grayEncode(v+1)
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("gray(%d)^gray(%d) = %b, want single bit", v, v+1, diff)
+		}
+	}
+}
+
+func TestHeaderChecksumDiscriminates(t *testing.T) {
+	base := headerChecksum(1, 2, 3)
+	if headerChecksum(1, 2, 4) == base && headerChecksum(2, 2, 3) == base {
+		t.Error("checksum does not discriminate nibble changes")
+	}
+	// All-zero header must not checksum to zero (mask property).
+	if headerChecksum(0, 0, 0) == 0 {
+		t.Error("all-zero header self-consistent")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		for _, sfApp := range []int{4, 5, 6, 7, 8, 10, 12} {
+			for _, w := range []int{5, 6, 7, 8} {
+				cws := make([]uint16, sfApp)
+				for i := range cws {
+					cws[i] = uint16(rng.Intn(1 << uint(w)))
+				}
+				syms := interleaveBlock(cws, w)
+				for _, s := range syms {
+					if s >= 1<<uint(sfApp) {
+						return false
+					}
+				}
+				back := deinterleaveBlock(syms, sfApp)
+				for i := range cws {
+					if back[i] != cws[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaveSpreadsSymbolErrors(t *testing.T) {
+	// Corrupting one symbol must touch at most one bit per codeword —
+	// the diagonal property that lets Hamming correct it.
+	cws := []uint16{0x55, 0xAA, 0x0F, 0xF0, 0x33, 0xCC, 0x99, 0x66}
+	syms := interleaveBlock(cws, 8)
+	syms[3] ^= 0xFF // clobber one symbol completely
+	back := deinterleaveBlock(syms, 8)
+	for i := range cws {
+		diff := back[i] ^ cws[i]
+		bits := 0
+		for diff != 0 {
+			bits += int(diff & 1)
+			diff >>= 1
+		}
+		if bits > 1 {
+			t.Fatalf("codeword %d got %d flipped bits from one bad symbol", i, bits)
+		}
+	}
+}

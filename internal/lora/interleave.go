@@ -1,0 +1,35 @@
+package lora
+
+// Diagonal interleaving (§4.1 transport chain). One block takes sfApp
+// codewords of w bits (sfApp = SF, or SF-2 for reduced-rate blocks; w =
+// 4+CR) and emits w symbols of sfApp bits. Bit j of codeword k lands in
+// symbol j at bit position k, with a diagonal rotation over codewords so a
+// corrupted symbol spreads at most one bit into each codeword.
+
+// interleaveBlock maps sfApp codewords into w symbol values.
+func interleaveBlock(cws []uint16, w int) []int {
+	sfApp := len(cws)
+	syms := make([]int, w)
+	for j := 0; j < w; j++ {
+		var sym int
+		for k := 0; k < sfApp; k++ {
+			bit := (cws[(j+k)%sfApp] >> uint(j)) & 1
+			sym |= int(bit) << uint(k)
+		}
+		syms[j] = sym
+	}
+	return syms
+}
+
+// deinterleaveBlock inverts interleaveBlock.
+func deinterleaveBlock(syms []int, sfApp int) []uint16 {
+	w := len(syms)
+	cws := make([]uint16, sfApp)
+	for j := 0; j < w; j++ {
+		for k := 0; k < sfApp; k++ {
+			bit := uint16(syms[j]>>uint(k)) & 1
+			cws[(j+k)%sfApp] |= bit << uint(j)
+		}
+	}
+	return cws
+}

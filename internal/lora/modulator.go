@@ -1,0 +1,79 @@
+package lora
+
+import (
+	"fmt"
+
+	"github.com/uwsdr/tinysdr/internal/dsp"
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// Modulator is the Fig. 6a LoRa modulator: Packet Generator (frame assembly
+// into symbol values) feeding the Chirp Generator (phase-continuous CSS
+// synthesis on the FPGA's phase-accumulator/LUT datapath).
+type Modulator struct {
+	p Params
+}
+
+// NewModulator returns a modulator for the given parameters.
+func NewModulator(p Params) (*Modulator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Modulator{p: p}, nil
+}
+
+// Params returns the modulator configuration.
+func (m *Modulator) Params() Params { return m.p }
+
+// Symbols encodes a payload into the packet's chirp-shift values (payload
+// section only: header block + payload blocks).
+func (m *Modulator) Symbols(payload []byte) ([]int, error) {
+	return m.p.encodeBlocks(payload)
+}
+
+// Modulate produces the complete baseband packet waveform of Fig. 5:
+// preamble upchirps, two sync symbols, 2.25 SFD downchirps, then the
+// encoded payload symbols. The waveform is phase-continuous throughout.
+func (m *Modulator) Modulate(payload []byte) (iq.Samples, error) {
+	symbols, err := m.Symbols(payload)
+	if err != nil {
+		return nil, err
+	}
+	st := dsp.NewChirpStream(m.p.chirpGen())
+	sLen := m.p.chirpGen().SymbolLen()
+	total := (m.p.PreambleLen+2)*sLen + sLen*9/4 + len(symbols)*sLen
+	out := make(iq.Samples, 0, total)
+
+	for i := 0; i < m.p.PreambleLen; i++ {
+		out = append(out, st.Upchirp(0)...)
+	}
+	s1, s2 := m.p.syncShifts()
+	out = append(out, st.Upchirp(s1)...)
+	out = append(out, st.Upchirp(s2)...)
+	out = append(out, st.Downchirp()...)
+	out = append(out, st.Downchirp()...)
+	out = append(out, st.Symbol(0, true, sLen/4)...)
+	for _, sym := range symbols {
+		if sym < 0 || sym >= m.p.NumChips() {
+			return nil, fmt.Errorf("lora: symbol value %d out of range", sym)
+		}
+		out = append(out, st.Upchirp(sym)...)
+	}
+	return out, nil
+}
+
+// ModulateSymbols produces a waveform of raw chirp symbols with the given
+// shifts and no framing — the §5.2/§6 chirp-symbol-error experiments
+// transmit streams like this.
+func (m *Modulator) ModulateSymbols(shifts []int) (iq.Samples, error) {
+	st := dsp.NewChirpStream(m.p.chirpGen())
+	sLen := m.p.chirpGen().SymbolLen()
+	out := make(iq.Samples, 0, len(shifts)*sLen)
+	for _, sym := range shifts {
+		if sym < 0 || sym >= m.p.NumChips() {
+			return nil, fmt.Errorf("lora: symbol value %d out of range", sym)
+		}
+		out = append(out, st.Upchirp(sym)...)
+	}
+	return out, nil
+}

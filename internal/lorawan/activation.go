@@ -1,0 +1,170 @@
+package lorawan
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// The Things Network supports two activation methods (§4.1): over-the-air
+// activation (OTAA), where the device performs a join procedure and receives
+// a dynamically assigned address, and activation by personalization (ABP),
+// where the session keys and address are provisioned up front. tinySDR
+// supports both.
+
+// EUI is an IEEE 64-bit extended unique identifier.
+type EUI [8]byte
+
+// DeviceIdentity is the provisioned identity for OTAA.
+type DeviceIdentity struct {
+	AppEUI EUI
+	DevEUI EUI
+	AppKey [16]byte
+}
+
+// NewABPSession returns a personalized session: keys and address are
+// hard-coded at provisioning and the join procedure is skipped.
+func NewABPSession(addr DevAddr, nwkSKey, appSKey [16]byte) *Session {
+	return &Session{DevAddr: addr, NwkSKey: nwkSKey, AppSKey: appSKey}
+}
+
+// JoinRequest is the OTAA join message.
+type JoinRequest struct {
+	AppEUI   EUI
+	DevEUI   EUI
+	DevNonce uint16
+}
+
+// Encode produces the signed join-request PHYPayload.
+func (j *JoinRequest) Encode(appKey [16]byte) []byte {
+	out := []byte{byte(MTypeJoinRequest) << 5}
+	out = append(out, reverse8(j.AppEUI)...)
+	out = append(out, reverse8(j.DevEUI)...)
+	out = binary.LittleEndian.AppendUint16(out, j.DevNonce)
+	full := cmac(appKey, out)
+	return append(out, full[:4]...)
+}
+
+// DecodeJoinRequest parses and verifies a join-request.
+func DecodeJoinRequest(appKey [16]byte, phy []byte) (*JoinRequest, error) {
+	if len(phy) != 1+8+8+2+4 {
+		return nil, fmt.Errorf("lorawan: join-request of %d bytes", len(phy))
+	}
+	if MType(phy[0]>>5) != MTypeJoinRequest {
+		return nil, fmt.Errorf("lorawan: not a join-request")
+	}
+	body := phy[:len(phy)-4]
+	full := cmac(appKey, body)
+	var got [4]byte
+	copy(got[:], phy[len(phy)-4:])
+	var want [4]byte
+	copy(want[:], full[:4])
+	if !micEqual(got, want) {
+		return nil, fmt.Errorf("lorawan: join-request MIC mismatch")
+	}
+	j := &JoinRequest{DevNonce: binary.LittleEndian.Uint16(phy[17:19])}
+	copy(j.AppEUI[:], reverseBytes(phy[1:9]))
+	copy(j.DevEUI[:], reverseBytes(phy[9:17]))
+	return j, nil
+}
+
+// JoinAccept is the network's response assigning the device address.
+type JoinAccept struct {
+	AppNonce uint32 // 24-bit
+	NetID    uint32 // 24-bit
+	DevAddr  DevAddr
+	RXDelay  byte
+}
+
+// Encode produces the join-accept PHYPayload. Per the specification the
+// network encrypts with an AES *decrypt* operation so that the constrained
+// device only ever needs the encrypt primitive.
+func (a *JoinAccept) Encode(appKey [16]byte) []byte {
+	body := make([]byte, 0, 12)
+	body = append(body, byte(a.AppNonce), byte(a.AppNonce>>8), byte(a.AppNonce>>16))
+	body = append(body, byte(a.NetID), byte(a.NetID>>8), byte(a.NetID>>16))
+	body = binary.LittleEndian.AppendUint32(body, uint32(a.DevAddr))
+	body = append(body, 0 /* DLSettings */, a.RXDelay)
+
+	mhdr := byte(MTypeJoinAccept) << 5
+	full := cmac(appKey, append([]byte{mhdr}, body...))
+	plain := append(body, full[:4]...)
+
+	block, _ := aes.NewCipher(appKey[:])
+	enc := make([]byte, len(plain))
+	block.Decrypt(enc[:16], plain[:16])
+	return append([]byte{mhdr}, enc...)
+}
+
+// DecodeJoinAccept decrypts and verifies a join-accept on the device.
+func DecodeJoinAccept(appKey [16]byte, phy []byte) (*JoinAccept, error) {
+	if len(phy) != 1+16 {
+		return nil, fmt.Errorf("lorawan: join-accept of %d bytes", len(phy))
+	}
+	if MType(phy[0]>>5) != MTypeJoinAccept {
+		return nil, fmt.Errorf("lorawan: not a join-accept")
+	}
+	block, _ := aes.NewCipher(appKey[:])
+	plain := make([]byte, 16)
+	block.Encrypt(plain, phy[1:])
+	body, gotMIC := plain[:12], plain[12:]
+	full := cmac(appKey, append([]byte{phy[0]}, body...))
+	var got, want [4]byte
+	copy(got[:], gotMIC)
+	copy(want[:], full[:4])
+	if !micEqual(got, want) {
+		return nil, fmt.Errorf("lorawan: join-accept MIC mismatch")
+	}
+	return &JoinAccept{
+		AppNonce: uint32(body[0]) | uint32(body[1])<<8 | uint32(body[2])<<16,
+		NetID:    uint32(body[3]) | uint32(body[4])<<8 | uint32(body[5])<<16,
+		DevAddr:  DevAddr(binary.LittleEndian.Uint32(body[6:10])),
+		RXDelay:  body[11],
+	}, nil
+}
+
+// DeriveSession computes the session keys after a join exchange
+// (LoRaWAN 1.0: NwkSKey/AppSKey from AppKey, AppNonce, NetID, DevNonce).
+func DeriveSession(appKey [16]byte, accept *JoinAccept, devNonce uint16) *Session {
+	block, _ := aes.NewCipher(appKey[:])
+	derive := func(tag byte) (k [16]byte) {
+		var in [16]byte
+		in[0] = tag
+		in[1], in[2], in[3] = byte(accept.AppNonce), byte(accept.AppNonce>>8), byte(accept.AppNonce>>16)
+		in[4], in[5], in[6] = byte(accept.NetID), byte(accept.NetID>>8), byte(accept.NetID>>16)
+		binary.LittleEndian.PutUint16(in[7:], devNonce)
+		block.Encrypt(k[:], in[:])
+		return k
+	}
+	return &Session{
+		DevAddr: accept.DevAddr,
+		NwkSKey: derive(0x01),
+		AppSKey: derive(0x02),
+	}
+}
+
+// Class-A receive windows (the timing the MCU must hit; Table 4 shows the
+// radio turnaround is far inside these budgets).
+const (
+	// RX1Delay is the delay from uplink end to the first receive window.
+	RX1Delay = 1 * time.Second
+	// RX2Delay is the delay to the second window.
+	RX2Delay = 2 * time.Second
+)
+
+// ReceiveWindows returns the two Class-A window opening times for an uplink
+// that ended at t.
+func ReceiveWindows(t time.Duration) (rx1, rx2 time.Duration) {
+	return t + RX1Delay, t + RX2Delay
+}
+
+func reverse8(e EUI) []byte { return reverseBytes(e[:]) }
+
+func reverseBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}

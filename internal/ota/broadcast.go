@@ -1,0 +1,190 @@
+package ota
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/mcu"
+	"github.com/uwsdr/tinysdr/internal/radio"
+)
+
+// Broadcast programming (§7, "Better programming interface and protocols"):
+// instead of programming nodes sequentially, the AP broadcasts every data
+// chunk once to the whole fleet, then runs a short per-node repair phase
+// for the chunks each node missed. Fleet programming time becomes one
+// transfer plus loss repair instead of N sequential transfers — the
+// extension the paper proposes to reduce network programming time.
+
+// BroadcastAddr is the all-nodes device address for broadcast data frames.
+const BroadcastAddr = 0xFFFF
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BroadcastTarget is one node in a broadcast session with its link quality.
+type BroadcastTarget struct {
+	Node    *Node
+	RSSIdBm float64
+}
+
+// BroadcastSession drives a fleet update in broadcast mode. All node clocks
+// advance in lockstep: the fleet shares the broadcast phase, waits through
+// each node's repair phase, and reprograms concurrently at the end.
+type BroadcastSession struct {
+	Targets []BroadcastTarget
+	PHY     lora.Params
+	// MaxRepairRounds bounds repair sweeps per node before the session
+	// fails.
+	MaxRepairRounds int
+
+	rng *rand.Rand
+}
+
+// NewBroadcastSession returns a broadcast session over the given fleet.
+func NewBroadcastSession(targets []BroadcastTarget, seed int64) *BroadcastSession {
+	return &BroadcastSession{
+		Targets:         targets,
+		PHY:             BackboneParams(),
+		MaxRepairRounds: 20,
+		rng:             rand.New(rand.NewSource(seed)),
+	}
+}
+
+// BroadcastReport summarizes a fleet broadcast.
+type BroadcastReport struct {
+	// FleetTime is the wall time to program the whole fleet: broadcast
+	// phase plus all repair phases plus the (concurrent) reprogramming.
+	FleetTime time.Duration
+	// BroadcastPackets is the number of chunks sent in the shared phase.
+	BroadcastPackets int
+	// RepairPackets counts per-node repair transmissions.
+	RepairPackets int
+	// PerNode holds each node's finish stats.
+	PerNode []DecompressStats
+}
+
+func (s *BroadcastSession) lost(rssi float64, payloadLen int) bool {
+	per := lora.PacketErrorRate(s.PHY, payloadLen, rssi, radio.SX1276NoiseFigureDB)
+	return s.rng.Float64() < per
+}
+
+// advanceAll moves every node's clock forward by d, keeping the fleet in
+// lockstep.
+func (s *BroadcastSession) advanceAll(d time.Duration) {
+	for _, t := range s.Targets {
+		t.Node.Clock.Advance(d)
+	}
+}
+
+// ProgramFleet runs the broadcast protocol end to end. design accompanies
+// FPGA updates (nil for MCU targets), as in Session.Program.
+func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*BroadcastReport, error) {
+	if len(s.Targets) == 0 {
+		return nil, fmt.Errorf("ota: empty fleet")
+	}
+	start := s.Targets[0].Node.Clock.Now()
+	rep := &BroadcastReport{}
+
+	// Announce: per-node request/ready so every node erases staging and
+	// enters update mode. Sequential, but one exchange per node.
+	m := u.Manifest()
+	mb, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	reqTime := s.PHY.TimeOnAir(reqPayloadLen) + apProcessing +
+		radio.RXToTXTime + nodeProcessing + s.PHY.TimeOnAir(ackPayloadLen)
+	for _, t := range s.Targets {
+		d, err := t.Node.Backbone.Transition(radio.StateRX)
+		if err != nil {
+			return nil, err
+		}
+		t.Node.Clock.Advance(d)
+		t.Node.MCU.SetState(mcu.StateIdle)
+		req := &Frame{Type: FrameProgramRequest, Device: t.Node.ID, Payload: mb}
+		if _, err := t.Node.HandleProgramRequest(req); err != nil {
+			return nil, err
+		}
+		s.advanceAll(reqTime)
+	}
+
+	// Broadcast phase: every chunk once, fleet-wide, no ACKs. Each node
+	// independently keeps or misses each packet.
+	chunkTime := s.PHY.TimeOnAir(DataPacketSize) + apProcessing
+	missing := make([]map[int]bool, len(s.Targets))
+	for i := range missing {
+		missing[i] = map[int]bool{}
+	}
+	for seq, chunk := range u.Chunks {
+		s.advanceAll(chunkTime)
+		rep.BroadcastPackets++
+		for i, t := range s.Targets {
+			if s.lost(t.RSSIdBm, len(chunk)+frameOverhead) {
+				missing[i][seq] = true
+				continue
+			}
+			data := &Frame{Type: FrameData, Device: t.Node.ID, Seq: uint16(seq), Payload: chunk}
+			if _, err := t.Node.HandleData(data); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Repair phase: unicast each node's missing chunks with ACKs, in
+	// sequence order so the simulation stays deterministic.
+	repairTime := chunkTime + radio.RXToTXTime + nodeProcessing + s.PHY.TimeOnAir(ackPayloadLen)
+	for i, t := range s.Targets {
+		gaps := sortedKeys(missing[i])
+		for round := 0; len(gaps) > 0; round++ {
+			if round >= s.MaxRepairRounds {
+				return nil, fmt.Errorf("ota: node %d unreachable after %d repair rounds", t.Node.ID, round)
+			}
+			var still []int
+			for _, seq := range gaps {
+				s.advanceAll(repairTime)
+				rep.RepairPackets++
+				if s.lost(t.RSSIdBm, len(u.Chunks[seq])+frameOverhead) || s.lost(t.RSSIdBm, ackPayloadLen) {
+					still = append(still, seq)
+					continue
+				}
+				f := &Frame{Type: FrameData, Device: t.Node.ID, Seq: uint16(seq), Payload: u.Chunks[seq]}
+				if _, err := t.Node.HandleData(f); err != nil {
+					return nil, err
+				}
+			}
+			gaps = still
+		}
+	}
+
+	// Finish marker, then every node decompresses and reprograms. The
+	// finish phases run concurrently in the field, so each node's clock
+	// advances independently and the fleet time follows the slowest.
+	s.advanceAll(s.PHY.TimeOnAir(ackPayloadLen) + apProcessing)
+	for _, t := range s.Targets {
+		stats, err := t.Node.Finish(design)
+		if err != nil {
+			return nil, err
+		}
+		rep.PerNode = append(rep.PerNode, stats)
+	}
+
+	var latest time.Duration
+	for _, t := range s.Targets {
+		if now := t.Node.Clock.Now(); now > latest {
+			latest = now
+		}
+	}
+	rep.FleetTime = latest - start
+	return rep, nil
+}

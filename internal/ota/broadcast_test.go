@@ -1,0 +1,154 @@
+package ota
+
+import (
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/fpga"
+)
+
+func broadcastFleet(t *testing.T, n int, rssi float64) []BroadcastTarget {
+	t.Helper()
+	targets := make([]BroadcastTarget, n)
+	for i := range targets {
+		node, _ := testNode(t, uint16(i+1))
+		targets[i] = BroadcastTarget{Node: node, RSSIdBm: rssi}
+	}
+	return targets
+}
+
+func TestBroadcastDeliversExactImages(t *testing.T) {
+	img := fpga.SynthMCUFirmware(16*1024, 3)
+	u, err := BuildUpdate(TargetMCU, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := broadcastFleet(t, 5, -90)
+	sess := NewBroadcastSession(targets, 1)
+	rep, err := sess.ProgramFleet(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BroadcastPackets != len(u.Chunks) {
+		t.Errorf("broadcast packets = %d, want %d", rep.BroadcastPackets, len(u.Chunks))
+	}
+	for _, tg := range targets {
+		if err := tg.Node.VerifyImage(img, TargetMCU); err != nil {
+			t.Errorf("node %d: %v", tg.Node.ID, err)
+		}
+	}
+	if len(rep.PerNode) != 5 {
+		t.Errorf("per-node stats = %d", len(rep.PerNode))
+	}
+}
+
+func TestBroadcastRepairsLossyNodes(t *testing.T) {
+	img := fpga.SynthMCUFirmware(12*1024, 4)
+	u, _ := BuildUpdate(TargetMCU, img)
+	// One strong and one marginal node: the marginal one needs repair.
+	strong, _ := testNode(t, 1)
+	weak, _ := testNode(t, 2)
+	sess := NewBroadcastSession([]BroadcastTarget{
+		{Node: strong, RSSIdBm: -80},
+		{Node: weak, RSSIdBm: -120}, // at sensitivity: ~16% packet loss
+	}, 2)
+	rep, err := sess.ProgramFleet(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairPackets == 0 {
+		t.Error("marginal node needed no repairs; loss model suspect")
+	}
+	for _, n := range []*Node{strong, weak} {
+		if err := n.VerifyImage(img, TargetMCU); err != nil {
+			t.Errorf("node %d: %v", n.ID, err)
+		}
+	}
+}
+
+func TestBroadcastBeatsSequentialOnFleets(t *testing.T) {
+	// The §7 motivation: for a fleet, broadcasting the shared transfer
+	// must be much faster than programming nodes one at a time.
+	img := fpga.SynthMCUFirmware(16*1024, 5)
+	u, _ := BuildUpdate(TargetMCU, img)
+
+	const fleet = 8
+	// Sequential: total fleet time is the sum of per-node sessions.
+	var sequential float64
+	for i := 0; i < fleet; i++ {
+		node, _ := testNode(t, uint16(100+i))
+		sess := NewSession(node, -85, int64(10+i))
+		rep, err := sess.Program(u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential += rep.Duration.Seconds()
+	}
+
+	targets := broadcastFleet(t, fleet, -85)
+	bsess := NewBroadcastSession(targets, 3)
+	brep, err := bsess.ProgramFleet(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := sequential / brep.FleetTime.Seconds()
+	if speedup < 3 {
+		t.Errorf("broadcast speedup = %.1fx over sequential, want > 3x for an 8-node fleet", speedup)
+	}
+	t.Logf("sequential %.0f s, broadcast %.0f s (%.1fx)", sequential, brep.FleetTime.Seconds(), speedup)
+}
+
+func TestBroadcastFPGAUpdate(t *testing.T) {
+	design := fpga.BLEBeaconDesign()
+	img := fpga.SynthBitstream(design)
+	u, err := BuildUpdate(TargetFPGA, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := broadcastFleet(t, 3, -85)
+	sess := NewBroadcastSession(targets, 4)
+	if _, err := sess.ProgramFleet(u, design); err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range targets {
+		if tg.Node.FPGA.State() != fpga.StateRunning {
+			t.Errorf("node %d FPGA not running", tg.Node.ID)
+		}
+	}
+}
+
+func TestBroadcastEmptyFleetRejected(t *testing.T) {
+	u, _ := BuildUpdate(TargetMCU, fpga.SynthMCUFirmware(1024, 1))
+	sess := NewBroadcastSession(nil, 1)
+	if _, err := sess.ProgramFleet(u, nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestBroadcastUnreachableNodeFails(t *testing.T) {
+	u, _ := BuildUpdate(TargetMCU, fpga.SynthMCUFirmware(4096, 2))
+	node, _ := testNode(t, 1)
+	sess := NewBroadcastSession([]BroadcastTarget{{Node: node, RSSIdBm: -140}}, 5)
+	sess.MaxRepairRounds = 3
+	if _, err := sess.ProgramFleet(u, nil); err == nil {
+		t.Error("unreachable node programmed")
+	}
+}
+
+func TestBroadcastDeterministic(t *testing.T) {
+	img := fpga.SynthMCUFirmware(8*1024, 7)
+	u, _ := BuildUpdate(TargetMCU, img)
+	run := func() (int, float64) {
+		targets := broadcastFleet(t, 4, -117)
+		sess := NewBroadcastSession(targets, 9)
+		rep, err := sess.ProgramFleet(u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.RepairPackets, rep.FleetTime.Seconds()
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if r1 != r2 || t1 != t2 {
+		t.Errorf("broadcast not deterministic: (%d, %v) vs (%d, %v)", r1, t1, r2, t2)
+	}
+}

@@ -1,0 +1,191 @@
+// Package ota implements tinySDR's over-the-air programming system (§3.4):
+// the MAC protocol on top of the LoRa backbone radio (programming request,
+// ready, sequence-numbered data packets with CRC and ACK/retransmission,
+// finish), block-wise miniLZO compression of firmware images, staging in
+// external flash, and the decompress-and-reprogram sequence on the node.
+package ota
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FrameType identifies an OTA MAC frame.
+type FrameType byte
+
+// The §3.4 protocol frames.
+const (
+	// FrameProgramRequest announces an update to specific device IDs,
+	// with the wake time and update manifest.
+	FrameProgramRequest FrameType = iota + 1
+	// FrameReady is the node's "ready to receive" response.
+	FrameReady
+	// FrameData carries one sequence-numbered chunk of compressed image.
+	FrameData
+	// FrameAck acknowledges one data frame.
+	FrameAck
+	// FrameFinish ends the transfer and triggers reprogramming.
+	FrameFinish
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameProgramRequest:
+		return "program-request"
+	case FrameReady:
+		return "ready"
+	case FrameData:
+		return "data"
+	case FrameAck:
+		return "ack"
+	case FrameFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("FrameType(%d)", byte(t))
+	}
+}
+
+// Frame is one OTA MAC frame. The wire format is:
+//
+//	type(1) device(2) seq(2) len(1) payload(len) crc16(2)
+//
+// carried as the payload of one backbone LoRa packet.
+type Frame struct {
+	Type    FrameType
+	Device  uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// frameOverhead is the header plus trailing CRC.
+const frameOverhead = 6 + 2
+
+// DataPacketSize is the §5.3 design point: 60-byte LoRa packets balance
+// preamble overhead against packet error rate at range.
+const DataPacketSize = 60
+
+// MaxChunk is the compressed-image bytes carried per data frame.
+const MaxChunk = DataPacketSize - frameOverhead
+
+// MarshalBinary encodes the frame.
+func (f *Frame) MarshalBinary() ([]byte, error) {
+	if len(f.Payload) > 255 {
+		return nil, fmt.Errorf("ota: payload %d exceeds 255", len(f.Payload))
+	}
+	out := make([]byte, 0, frameOverhead+len(f.Payload))
+	out = append(out, byte(f.Type))
+	out = binary.BigEndian.AppendUint16(out, f.Device)
+	out = binary.BigEndian.AppendUint16(out, f.Seq)
+	out = append(out, byte(len(f.Payload)))
+	out = append(out, f.Payload...)
+	return binary.BigEndian.AppendUint16(out, frameCRC(out)), nil
+}
+
+// UnmarshalBinary decodes and validates a frame.
+func (f *Frame) UnmarshalBinary(data []byte) error {
+	if len(data) < frameOverhead {
+		return fmt.Errorf("ota: frame of %d bytes too short", len(data))
+	}
+	n := int(data[5])
+	if len(data) != frameOverhead+n {
+		return fmt.Errorf("ota: frame length %d does not match header %d", len(data), n)
+	}
+	body := data[:len(data)-2]
+	want := binary.BigEndian.Uint16(data[len(data)-2:])
+	if frameCRC(body) != want {
+		return fmt.Errorf("ota: frame CRC mismatch")
+	}
+	f.Type = FrameType(data[0])
+	if f.Type < FrameProgramRequest || f.Type > FrameFinish {
+		return fmt.Errorf("ota: unknown frame type %d", data[0])
+	}
+	f.Device = binary.BigEndian.Uint16(data[1:3])
+	f.Seq = binary.BigEndian.Uint16(data[3:5])
+	f.Payload = append([]byte(nil), data[6:6+n]...)
+	return nil
+}
+
+// frameCRC is the CCITT CRC-16 over the frame body.
+func frameCRC(body []byte) uint16 {
+	var crc uint16
+	for _, b := range body {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Target selects what an update reprograms.
+type Target byte
+
+// Update targets.
+const (
+	TargetFPGA Target = 1
+	TargetMCU  Target = 2
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case TargetFPGA:
+		return "fpga"
+	case TargetMCU:
+		return "mcu"
+	default:
+		return fmt.Sprintf("Target(%d)", byte(t))
+	}
+}
+
+// Manifest describes an update, carried in the program-request payload.
+type Manifest struct {
+	Target     Target
+	ImageSize  uint32 // uncompressed bytes
+	StreamSize uint32 // compressed stream bytes (blocks + block table)
+	NumPackets uint16
+	NumBlocks  uint16
+	// ChunkSize is the stream bytes per data frame (all frames but the
+	// last); the node uses it as the flash staging stride.
+	ChunkSize uint8
+}
+
+// manifestLen is the encoded manifest size.
+const manifestLen = 14
+
+// MarshalBinary encodes the manifest.
+func (m *Manifest) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, manifestLen)
+	out = append(out, byte(m.Target))
+	out = binary.BigEndian.AppendUint32(out, m.ImageSize)
+	out = binary.BigEndian.AppendUint32(out, m.StreamSize)
+	out = binary.BigEndian.AppendUint16(out, m.NumPackets)
+	out = binary.BigEndian.AppendUint16(out, m.NumBlocks)
+	out = append(out, m.ChunkSize)
+	return out, nil
+}
+
+// UnmarshalBinary decodes a manifest.
+func (m *Manifest) UnmarshalBinary(data []byte) error {
+	if len(data) != manifestLen {
+		return fmt.Errorf("ota: manifest of %d bytes", len(data))
+	}
+	m.Target = Target(data[0])
+	if m.Target != TargetFPGA && m.Target != TargetMCU {
+		return fmt.Errorf("ota: unknown target %d", data[0])
+	}
+	m.ImageSize = binary.BigEndian.Uint32(data[1:5])
+	m.StreamSize = binary.BigEndian.Uint32(data[5:9])
+	m.NumPackets = binary.BigEndian.Uint16(data[9:11])
+	m.NumBlocks = binary.BigEndian.Uint16(data[11:13])
+	m.ChunkSize = data[13]
+	if m.ChunkSize == 0 {
+		return fmt.Errorf("ota: zero chunk size")
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package ota
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The OTA parsers sit on the radio receive path: arbitrary bytes must
+// produce clean errors, never panics.
+
+func TestFrameUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var fr Frame
+		err := fr.UnmarshalBinary(data)
+		// If it parsed, it must re-marshal consistently.
+		if err == nil {
+			wire, err2 := fr.MarshalBinary()
+			if err2 != nil || len(wire) != len(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManifestUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var m Manifest
+		_ = m.UnmarshalBinary(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeserializeBlocksNeverPanics(t *testing.T) {
+	f := func(stream []byte) bool {
+		_, _ = DeserializeBlocks(stream)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildUpdateOptionsValidation(t *testing.T) {
+	img := []byte("firmware")
+	for _, size := range []int{0, 8, 12, 300} {
+		if _, err := BuildUpdateOptions(TargetMCU, img, UpdateOptions{PacketSize: size, Compress: true}); err == nil {
+			t.Errorf("packet size %d accepted", size)
+		}
+	}
+	if _, err := BuildUpdateOptions(TargetMCU, img, UpdateOptions{PacketSize: 60, Compress: false}); err != nil {
+		t.Errorf("stored mode rejected: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package ota
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/uwsdr/tinysdr/internal/lzo"
+)
+
+// BlockSize is the §3.4 compression granularity: 30 kB blocks fit the
+// MCU's 64 kB SRAM with room for the working set.
+const BlockSize = 30 * 1024
+
+// Update is a firmware image prepared for OTA distribution: compressed
+// block-wise and serialized into a stream of data-frame chunks.
+type Update struct {
+	Target Target
+	// Image is the uncompressed firmware.
+	Image []byte
+	// Stream is the serialized compressed representation: a block table
+	// followed by the compressed blocks.
+	Stream []byte
+	// Chunks is Stream split into MaxChunk-sized data-frame payloads.
+	Chunks [][]byte
+}
+
+// UpdateOptions tunes the distribution format for design-space studies.
+type UpdateOptions struct {
+	// PacketSize is the LoRa packet payload budget; the paper's design
+	// point is 60 bytes (DataPacketSize).
+	PacketSize int
+	// Compress selects miniLZO block compression (the §3.4 design) or
+	// stored blocks, the baseline the compression ablation measures.
+	Compress bool
+}
+
+// BuildUpdate compresses an image on the AP side (§3.4: "we perform
+// compression on the AP") and packetizes it with the paper's parameters.
+func BuildUpdate(target Target, image []byte) (*Update, error) {
+	return BuildUpdateOptions(target, image, UpdateOptions{PacketSize: DataPacketSize, Compress: true})
+}
+
+// BuildUpdateOptions builds an update with explicit format parameters.
+func BuildUpdateOptions(target Target, image []byte, opts UpdateOptions) (*Update, error) {
+	if len(image) == 0 {
+		return nil, fmt.Errorf("ota: empty image")
+	}
+	chunkSize := opts.PacketSize - frameOverhead
+	if chunkSize < 8 || chunkSize > 255 {
+		return nil, fmt.Errorf("ota: packet size %d unusable (chunk %d)", opts.PacketSize, chunkSize)
+	}
+	var blocks []lzo.Block
+	if opts.Compress {
+		blocks = lzo.CompressBlocks(image, BlockSize)
+	} else {
+		blocks = lzo.StoreBlocks(image, BlockSize)
+	}
+	stream := serializeBlocks(blocks)
+	var chunks [][]byte
+	for off := 0; off < len(stream); off += chunkSize {
+		end := min(off+chunkSize, len(stream))
+		chunks = append(chunks, stream[off:end])
+	}
+	if len(chunks) > 65535 {
+		return nil, fmt.Errorf("ota: image needs %d packets, exceeding 16-bit sequence space", len(chunks))
+	}
+	return &Update{Target: target, Image: image, Stream: stream, Chunks: chunks}, nil
+}
+
+// Manifest returns the update's manifest.
+func (u *Update) Manifest() Manifest {
+	blocks, _ := parseBlockTable(u.Stream)
+	chunk := 0
+	if len(u.Chunks) > 0 {
+		chunk = len(u.Chunks[0])
+	}
+	return Manifest{
+		Target:     u.Target,
+		ImageSize:  uint32(len(u.Image)),
+		StreamSize: uint32(len(u.Stream)),
+		NumPackets: uint16(len(u.Chunks)),
+		NumBlocks:  uint16(blocks),
+		ChunkSize:  uint8(chunk),
+	}
+}
+
+// CompressedSize returns the on-air payload volume.
+func (u *Update) CompressedSize() int { return len(u.Stream) }
+
+// serializeBlocks encodes: numBlocks(2) then per block rawLen(4) compLen(4),
+// then the concatenated compressed data.
+func serializeBlocks(blocks []lzo.Block) []byte {
+	out := binary.BigEndian.AppendUint16(nil, uint16(len(blocks)))
+	for _, b := range blocks {
+		out = binary.BigEndian.AppendUint32(out, uint32(b.RawLen))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(b.Data)))
+	}
+	for _, b := range blocks {
+		out = append(out, b.Data...)
+	}
+	return out
+}
+
+func parseBlockTable(stream []byte) (numBlocks int, err error) {
+	if len(stream) < 2 {
+		return 0, fmt.Errorf("ota: stream too short for block table")
+	}
+	return int(binary.BigEndian.Uint16(stream)), nil
+}
+
+// DeserializeBlocks parses a stream back into blocks, validating structure.
+func DeserializeBlocks(stream []byte) ([]lzo.Block, error) {
+	n, err := parseBlockTable(stream)
+	if err != nil {
+		return nil, err
+	}
+	tableEnd := 2 + 8*n
+	if len(stream) < tableEnd {
+		return nil, fmt.Errorf("ota: truncated block table")
+	}
+	blocks := make([]lzo.Block, n)
+	off := tableEnd
+	for i := 0; i < n; i++ {
+		raw := int(binary.BigEndian.Uint32(stream[2+8*i:]))
+		comp := int(binary.BigEndian.Uint32(stream[2+8*i+4:]))
+		if raw < 0 || raw > BlockSize || off+comp > len(stream) {
+			return nil, fmt.Errorf("ota: block %d table entry invalid", i)
+		}
+		blocks[i] = lzo.Block{RawLen: raw, Data: stream[off : off+comp]}
+		off += comp
+	}
+	if off != len(stream) {
+		return nil, fmt.Errorf("ota: %d trailing bytes after blocks", len(stream)-off)
+	}
+	return blocks, nil
+}

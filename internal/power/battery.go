@@ -1,0 +1,54 @@
+package power
+
+import (
+	"math"
+	"time"
+)
+
+// Battery models the LiPo cell the paper's lifetime projections use.
+type Battery struct {
+	CapacityMAh float64
+	VoltageV    float64
+}
+
+// DefaultBattery is the 1000 mAh 3.7 V LiPo cell of §5.2/§5.3.
+func DefaultBattery() Battery { return Battery{CapacityMAh: 1000, VoltageV: BatteryVoltage} }
+
+// EnergyJ returns the battery's total energy in joules.
+func (b Battery) EnergyJ() float64 {
+	return b.CapacityMAh / 1e3 * b.VoltageV * 3600
+}
+
+// Lifetime returns how long the battery sustains the given average draw.
+// A non-positive draw yields an effectively infinite duration, capped at
+// 100 years to stay representable.
+func (b Battery) Lifetime(avgPowerW float64) time.Duration {
+	const century = 100 * 365 * 24 * float64(time.Hour)
+	if avgPowerW <= 0 {
+		return time.Duration(century)
+	}
+	sec := b.EnergyJ() / avgPowerW
+	d := sec * float64(time.Second)
+	if d > century || math.IsInf(d, 1) {
+		return time.Duration(century)
+	}
+	return time.Duration(d)
+}
+
+// Operations returns how many operations of the given energy the battery
+// can supply (e.g. OTA reprogramming cycles in §5.3).
+func (b Battery) Operations(energyPerOpJ float64) int {
+	if energyPerOpJ <= 0 {
+		return math.MaxInt32
+	}
+	n := b.EnergyJ() / energyPerOpJ
+	if n > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(n)
+}
+
+// Years converts a duration to fractional years for lifetime reporting.
+func Years(d time.Duration) float64 {
+	return d.Hours() / (24 * 365)
+}

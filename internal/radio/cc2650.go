@@ -1,0 +1,19 @@
+package radio
+
+// CC2650 models the TI SimpleLink BLE chip used as the reference receiver
+// in the Fig. 12 BLE beacon evaluation.
+const (
+	// CC2650SensitivityDBm is the datasheet receive sensitivity at the
+	// 0.1% BER point for BLE 1 Mbps. The paper measures tinySDR beacons
+	// within 2 dB of it.
+	CC2650SensitivityDBm = -96
+	// CC2650NoiseFigureDB is the effective noise figure used with the
+	// quadrature-discriminator demodulator in internal/ble. It is a
+	// calibration constant: the simple discriminator gives up several dB
+	// against the chip's matched-filter demodulator, so the effective NF
+	// is set below the physical one such that the modeled chain's 0.1%
+	// BER point lands on the paper's -94 dBm measurement.
+	CC2650NoiseFigureDB = 4.2
+	// CC2650RXPowerW is the receive draw (6.1 mA at 3 V), for comparisons.
+	CC2650RXPowerW = 18.3e-3
+)

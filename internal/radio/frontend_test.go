@@ -1,0 +1,79 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/power"
+	"github.com/uwsdr/tinysdr/internal/sim"
+)
+
+func TestFrontEndRatings(t *testing.T) {
+	p := power.NewPMU(sim.NewClock())
+	fe900 := NewSE2435L(p)
+	fe24 := NewSKY66112(p)
+	// §3.1.1: 900 MHz PA up to 30 dBm, 2.4 GHz up to 27 dBm.
+	if fe900.MaxPADBm != 30 || fe24.MaxPADBm != 27 {
+		t.Errorf("PA ratings = %v / %v, want 30 / 27", fe900.MaxPADBm, fe24.MaxPADBm)
+	}
+}
+
+func TestFrontEndPAChain(t *testing.T) {
+	p := power.NewPMU(sim.NewClock())
+	fe := NewSE2435L(p)
+	out, err := fe.EnablePA(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 14+fe.PAGainDB {
+		t.Errorf("PA output = %v, want %v", out, 14+fe.PAGainDB)
+	}
+	if !fe.PAOn() || fe.LNAOn() {
+		t.Error("PA path state wrong")
+	}
+	// Driving past the rating must fail.
+	if _, err := fe.EnablePA(fe.MaxPADBm); err == nil {
+		t.Error("over-rating drive accepted")
+	}
+}
+
+func TestFrontEndPowerLadder(t *testing.T) {
+	p := power.NewPMU(sim.NewClock())
+	fe := NewSKY66112(p)
+	sleep := p.Ledger().Power("pa-2400")
+	if sleep > 4e-6 {
+		t.Errorf("sleep draw %v, want ~1 µA x 3.7 V", sleep)
+	}
+	fe.Bypass()
+	bypass := p.Ledger().Power("pa-2400")
+	if bypass <= sleep {
+		t.Error("bypass must draw more than sleep")
+	}
+	if bypass > 1.1e-3 {
+		t.Errorf("bypass draw %v, want ~280 µA x 3.7 V", bypass)
+	}
+	fe.EnablePA(10)
+	if pa := p.Ledger().Power("pa-2400"); pa <= bypass {
+		t.Error("PA active must draw more than bypass")
+	}
+	fe.EnableLNA()
+	if !fe.LNAOn() || fe.PAOn() {
+		t.Error("LNA path state wrong")
+	}
+	fe.Sleep()
+	if got := p.Ledger().Power("pa-2400"); got != sleep {
+		t.Errorf("sleep draw after cycle = %v, want %v", got, sleep)
+	}
+}
+
+func TestFrontEndWithRadioReaches30DBm(t *testing.T) {
+	// The platform story: 14 dBm radio + SE2435L 16 dB = 30 dBm FCC limit.
+	p := power.NewPMU(sim.NewClock())
+	fe := NewSE2435L(p)
+	out, err := fe.EnablePA(MaxTXPowerDBm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 30 {
+		t.Errorf("max chain output = %v dBm, want 30", out)
+	}
+}

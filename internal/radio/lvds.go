@@ -1,0 +1,114 @@
+package radio
+
+import (
+	"fmt"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// LVDS I/Q word format (Fig. 4). Each 32-bit word carries one complex
+// sample, MSB first:
+//
+//	[31:30] I_SYNC = 0b10      [29:17] I data (13-bit two's complement)
+//	[16]    control = 0        [15:14] Q_SYNC = 0b01
+//	[13:1]  Q data (13-bit two's complement)   [0] control = 0
+//
+// The radio emits 4 Mwords/s; at 32 bits per word this is the 128 Mbit/s
+// stream carried on the 64 MHz DDR clock. The deserializer uses the sync
+// patterns to find word boundaries in the raw bit stream.
+const (
+	iSyncPattern = 0b10
+	qSyncPattern = 0b01
+	lvdsWordBits = 32
+	sampleMask   = 0x1FFF // 13 bits
+	signBit      = 0x1000
+)
+
+// PackWord frames one complex sample (unit full scale) into an LVDS word.
+func PackWord(s complex128) uint32 {
+	i := uint32(iq.QuantizeCode(real(s), ADCBits, 1.0)) & sampleMask
+	q := uint32(iq.QuantizeCode(imag(s), ADCBits, 1.0)) & sampleMask
+	var w uint32
+	w |= iSyncPattern << 30
+	w |= i << 17
+	// control bit 16 = 0
+	w |= qSyncPattern << 14
+	w |= q << 1
+	// control bit 0 = 0
+	return w
+}
+
+// UnpackWord recovers the complex sample from an LVDS word, validating the
+// sync patterns.
+func UnpackWord(w uint32) (complex128, error) {
+	if (w>>30)&0b11 != iSyncPattern {
+		return 0, fmt.Errorf("radio: bad I_SYNC in word %#08x", w)
+	}
+	if (w>>14)&0b11 != qSyncPattern {
+		return 0, fmt.Errorf("radio: bad Q_SYNC in word %#08x", w)
+	}
+	i := signExtend13((w >> 17) & sampleMask)
+	q := signExtend13((w >> 1) & sampleMask)
+	return complex(iq.CodeToValue(i, ADCBits, 1.0), iq.CodeToValue(q, ADCBits, 1.0)), nil
+}
+
+func signExtend13(v uint32) int32 {
+	if v&signBit != 0 {
+		return int32(v) - (1 << ADCBits)
+	}
+	return int32(v)
+}
+
+// Serialize frames a sample buffer into the raw LVDS bit stream (one bit per
+// byte, in transmission order). This is the I/Q Serializer block of the
+// modulator designs.
+func Serialize(s iq.Samples) []byte {
+	bits := make([]byte, 0, len(s)*lvdsWordBits)
+	for _, x := range s {
+		w := PackWord(x)
+		for b := lvdsWordBits - 1; b >= 0; b-- {
+			bits = append(bits, byte((w>>uint(b))&1))
+		}
+	}
+	return bits
+}
+
+// Deserialize recovers samples from a raw bit stream with unknown word
+// alignment. It mirrors the FPGA's I/Q deserializer: scan for the first
+// offset where I_SYNC and Q_SYNC verify across two consecutive words, then
+// decode words until the stream ends, skipping any trailing partial word.
+func Deserialize(bits []byte) (iq.Samples, error) {
+	if len(bits) < 2*lvdsWordBits {
+		return nil, fmt.Errorf("radio: bit stream too short to synchronize (%d bits)", len(bits))
+	}
+	wordAt := func(off int) uint32 {
+		var w uint32
+		for b := 0; b < lvdsWordBits; b++ {
+			w = w<<1 | uint32(bits[off+b])
+		}
+		return w
+	}
+	start := -1
+	for off := 0; off+2*lvdsWordBits <= len(bits) && off < lvdsWordBits; off++ {
+		if _, err := UnpackWord(wordAt(off)); err != nil {
+			continue
+		}
+		if _, err := UnpackWord(wordAt(off + lvdsWordBits)); err != nil {
+			continue
+		}
+		start = off
+		break
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("radio: no LVDS word alignment found")
+	}
+	var out iq.Samples
+	for off := start; off+lvdsWordBits <= len(bits); off += lvdsWordBits {
+		s, err := UnpackWord(wordAt(off))
+		if err != nil {
+			return out, fmt.Errorf("radio: lost sync at bit %d: %w", off, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

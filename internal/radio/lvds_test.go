@@ -1,0 +1,186 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/power"
+	"github.com/uwsdr/tinysdr/internal/sim"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(re, im float64) bool {
+		re = math.Mod(re, 1.0)
+		im = math.Mod(im, 1.0)
+		s := complex(re, im)
+		got, err := UnpackWord(PackWord(s))
+		if err != nil {
+			return false
+		}
+		// Error bounded by one 13-bit step.
+		step := 1.0 / 4096
+		return math.Abs(real(got)-re) <= step && math.Abs(imag(got)-im) <= step
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSyncFields(t *testing.T) {
+	w := PackWord(complex(0.5, -0.5))
+	if (w>>30)&0b11 != 0b10 {
+		t.Errorf("I_SYNC = %b, want 10", (w>>30)&0b11)
+	}
+	if (w>>14)&0b11 != 0b01 {
+		t.Errorf("Q_SYNC = %b, want 01", (w>>14)&0b11)
+	}
+	if (w>>16)&1 != 0 || w&1 != 0 {
+		t.Error("control bits must be zero")
+	}
+}
+
+func TestUnpackRejectsBadSync(t *testing.T) {
+	w := PackWord(complex(0.1, 0.1))
+	if _, err := UnpackWord(w &^ (0b11 << 30)); err == nil {
+		t.Error("corrupt I_SYNC accepted")
+	}
+	if _, err := UnpackWord(w ^ (0b11 << 14)); err == nil {
+		t.Error("corrupt Q_SYNC accepted")
+	}
+}
+
+func TestNegativeSampleSignExtension(t *testing.T) {
+	s := complex(-0.75, -0.25)
+	got, err := UnpackWord(PackWord(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real(got) > 0 || imag(got) > 0 {
+		t.Errorf("sign lost: %v -> %v", s, got)
+	}
+}
+
+func TestSerializeDeserializeAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	in := make(iq.Samples, 64)
+	for i := range in {
+		in[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1) * 0.9
+	}
+	bits := Serialize(in)
+	if len(bits) != 64*32 {
+		t.Fatalf("bit count = %d, want %d", len(bits), 64*32)
+	}
+	out, err := Deserialize(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("sample count = %d, want %d", len(out), len(in))
+	}
+	step := 1.0 / 4096
+	for i := range in {
+		if math.Abs(real(out[i])-real(in[i])) > step || math.Abs(imag(out[i])-imag(in[i])) > step {
+			t.Fatalf("sample %d: %v != %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDeserializeRecoversFromMisalignment(t *testing.T) {
+	// The FPGA deserializer must lock onto the sync patterns even when the
+	// stream starts mid-word.
+	in := make(iq.Samples, 32)
+	for i := range in {
+		in[i] = complex(math.Sin(float64(i)), math.Cos(float64(i))) * 0.7
+	}
+	bits := Serialize(in)
+	for _, skip := range []int{1, 7, 13, 31} {
+		out, err := Deserialize(bits[skip:])
+		if err != nil {
+			t.Fatalf("skip %d: %v", skip, err)
+		}
+		// First decodable word is sample 1 (sample 0's head is cut off).
+		if len(out) != len(in)-1 {
+			t.Fatalf("skip %d: got %d samples, want %d", skip, len(out), len(in)-1)
+		}
+		step := 1.0 / 4096
+		for i := range out {
+			if math.Abs(real(out[i])-real(in[i+1])) > step {
+				t.Fatalf("skip %d: sample %d mismatched", skip, i)
+			}
+		}
+	}
+}
+
+func TestDeserializeTooShort(t *testing.T) {
+	if _, err := Deserialize(make([]byte, 40)); err == nil {
+		t.Error("short stream accepted")
+	}
+}
+
+func TestDeserializeGarbage(t *testing.T) {
+	bits := make([]byte, 512)
+	for i := range bits {
+		bits[i] = 1 // all ones: I_SYNC can never read 0b10... except rolling? 11 != 10
+	}
+	if _, err := Deserialize(bits); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+func TestLVDSRateBudget(t *testing.T) {
+	// 4 Mwords/s x 32 bits must equal the 128 Mbps DDR budget (§3.2.1).
+	if SampleRate*lvdsWordBits != LVDSBitRate {
+		t.Errorf("word rate x 32 = %v, want %v", SampleRate*lvdsWordBits, float64(LVDSBitRate))
+	}
+}
+
+func TestSX1276Sensitivity(t *testing.T) {
+	// Paper/datasheet anchor: SF8 BW125 -> -126 dBm.
+	got := LoRaSensitivityDBm(8, 125e3)
+	if math.Abs(got-(-126)) > 0.1 {
+		t.Errorf("SF8/BW125 sensitivity = %v, want -126", got)
+	}
+	// Wider bandwidth is less sensitive; higher SF more sensitive.
+	if LoRaSensitivityDBm(8, 250e3) <= got {
+		t.Error("BW250 must be less sensitive than BW125")
+	}
+	if LoRaSensitivityDBm(12, 125e3) >= got {
+		t.Error("SF12 must be more sensitive than SF8")
+	}
+}
+
+func TestSX1276StateMachine(t *testing.T) {
+	p := power.NewPMU(sim.NewClock())
+	r := NewSX1276(p)
+	if r.State() != StateSleep {
+		t.Fatal("must boot in sleep")
+	}
+	d, err := r.Transition(StateRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("wake must take time")
+	}
+	if err := r.SetTXPower(25); err == nil {
+		t.Error("over-limit TX power accepted")
+	}
+	if err := r.SetTXPower(14); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Transition(RadioState(9)); err == nil {
+		t.Error("bad state accepted")
+	}
+}
+
+func TestSNRLimitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SF13 must panic")
+		}
+	}()
+	LoRaSNRLimitDB(13)
+}

@@ -1,0 +1,130 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/ota"
+	"github.com/uwsdr/tinysdr/internal/radio"
+)
+
+func TestCampusGeometry(t *testing.T) {
+	c := NewCampus(1)
+	if len(c.Nodes) != 20 {
+		t.Fatalf("nodes = %d, want 20 (paper deployment)", len(c.Nodes))
+	}
+	minD, maxD := 1e9, 0.0
+	for _, n := range c.Nodes {
+		d := n.Distance()
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if minD < 100 || maxD > 2000 {
+		t.Errorf("distance span [%0.f, %0.f] m outside campus scale", minD, maxD)
+	}
+	if maxD-minD < 1000 {
+		t.Errorf("deployment span %0.f m too compact for a campus", maxD-minD)
+	}
+}
+
+func TestCampusDeterminism(t *testing.T) {
+	a := NewCampus(7)
+	b := NewCampus(7)
+	for i := range a.Nodes {
+		if a.Nodes[i].X != b.Nodes[i].X || a.Nodes[i].Y != b.Nodes[i].Y {
+			t.Fatal("same seed must give same geometry")
+		}
+		if a.RSSI(a.Nodes[i]) != b.RSSI(b.Nodes[i]) {
+			t.Fatal("same seed must give same link budgets")
+		}
+	}
+}
+
+func TestLinkBudgetsAboveSensitivity(t *testing.T) {
+	// Every node must be reachable on the OTA backbone configuration —
+	// the deployment was designed to be programmable.
+	c := NewCampus(1)
+	phy := ota.BackboneParams()
+	sens := lora.SensitivityDBm(phy.SF, phy.BW, radio.SX1276NoiseFigureDB)
+	for _, n := range c.Nodes {
+		if rssi := c.RSSI(n); rssi < sens-1 {
+			t.Errorf("node %d at %.0f m: RSSI %.1f below sensitivity %.1f", n.ID, n.Distance(), rssi, sens)
+		}
+	}
+}
+
+func TestProgramAllMCUUpdate(t *testing.T) {
+	// A fleet MCU update (small image keeps the test fast) must reach all
+	// 20 nodes with byte-exact images.
+	c := NewCampus(2)
+	img := fpga.SynthMCUFirmware(16*1024, 5)
+	u, err := ota.BuildUpdate(ota.TargetMCU, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := c.ProgramAll(u, nil)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("node %d at %.0f m (%.1f dBm): %v", r.NodeID, r.Distance, r.RSSIdBm, r.Err)
+		}
+	}
+	for _, n := range c.Nodes {
+		if err := n.OTA.VerifyImage(img, ota.TargetMCU); err != nil {
+			t.Errorf("node %d: %v", n.ID, err)
+		}
+	}
+
+	// CDF sanity: monotone fractions ending at 1.
+	cdf := CDF(results)
+	if len(cdf) != 20 {
+		t.Fatalf("CDF points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Duration < cdf[i-1].Duration || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Error("CDF must end at 1")
+	}
+
+	// Far nodes should not be faster than near nodes on average: compare
+	// mean duration of nearest five vs farthest five.
+	near, far := time.Duration(0), time.Duration(0)
+	for i := 0; i < 5; i++ {
+		near += results[i].Report.Duration
+		far += results[len(results)-1-i].Report.Duration
+	}
+	if far < near {
+		t.Errorf("far nodes programmed faster than near: %v < %v", far, near)
+	}
+
+	if _, err := MeanDuration(results); err != nil {
+		t.Error(err)
+	}
+	if e, err := MeanEnergy(results); err != nil || e <= 0 {
+		t.Errorf("mean energy = %v, %v", e, err)
+	}
+}
+
+func TestMeansRejectAllFailed(t *testing.T) {
+	results := []ProgramResult{{Err: errFake}}
+	if _, err := MeanDuration(results); err == nil {
+		t.Error("mean over failures accepted")
+	}
+	if _, err := MeanEnergy(results); err == nil {
+		t.Error("mean energy over failures accepted")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }

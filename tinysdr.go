@@ -1,0 +1,264 @@
+// Package tinysdr is a software reproduction of the tinySDR platform
+// (Hessar, Najafi, Iyer, Gollakota — "TinySDR: Low-Power SDR Platform for
+// Over-the-Air Programmable IoT Testbeds", NSDI 2020): a standalone,
+// battery-operated software-defined radio for IoT endpoints with
+// over-the-air FPGA/MCU reprogramming.
+//
+// The package exposes the platform as a set of composable simulation
+// models: a Device (radio + FPGA + MCU + power management on a simulated
+// clock), LoRa and BLE physical layers implemented the way the tinySDR
+// FPGA implements them, a wireless channel, the OTA programming protocol,
+// and a 20-node campus testbed. Every figure and table of the paper's
+// evaluation can be regenerated from these models (see EXPERIMENTS.md and
+// cmd/tinysdr-eval).
+//
+// # Quick start
+//
+//	tx := tinysdr.New(tinysdr.Config{ID: 1})
+//	rx := tinysdr.New(tinysdr.Config{ID: 2})
+//	p := tinysdr.DefaultLoRaParams()
+//	tx.ConfigureLoRa(p)
+//	rx.ConfigureLoRa(p)
+//	air, _ := tx.TransmitLoRa([]byte("hello"), 14)
+//	ch := tinysdr.NewChannel(42, tinysdr.LoRaNoiseFloorDBm(p))
+//	pkt, _ := rx.ReceiveLoRa(ch.Apply(air, -120))
+//	fmt.Printf("%s\n", pkt.Payload)
+package tinysdr
+
+import (
+	"github.com/uwsdr/tinysdr/internal/backscatter"
+	"github.com/uwsdr/tinysdr/internal/ble"
+	"github.com/uwsdr/tinysdr/internal/channel"
+	"github.com/uwsdr/tinysdr/internal/core"
+	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/localize"
+	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/lora/concurrent"
+	"github.com/uwsdr/tinysdr/internal/lorawan"
+	"github.com/uwsdr/tinysdr/internal/ota"
+	"github.com/uwsdr/tinysdr/internal/radio"
+	"github.com/uwsdr/tinysdr/internal/testbed"
+)
+
+// Device is one simulated tinySDR board: AT86RF215 I/Q radio, LFE5U-25F
+// FPGA, MSP432 MCU, SX1276 OTA backbone, flash, RF front ends and the
+// seven-domain PMU, sharing a simulated clock and an energy ledger.
+type Device = core.Device
+
+// Config selects a device's identity.
+type Config = core.Config
+
+// New powers up a device (MCU running, radios asleep, FPGA unconfigured).
+func New(cfg Config) *Device { return core.New(cfg) }
+
+// Samples is a complex baseband buffer; |x|² is instantaneous power in mW.
+type Samples = iq.Samples
+
+// LoRaParams configures the LoRa PHY (spreading factor, bandwidth, coding
+// rate, preamble, header/CRC options).
+type LoRaParams = lora.Params
+
+// LoRaPacket is a received LoRa frame.
+type LoRaPacket = lora.Packet
+
+// CodingRate is a LoRa coding rate 4/(4+CR).
+type CodingRate = lora.CodingRate
+
+// LoRa coding rates.
+const (
+	CR45 = lora.CR45
+	CR46 = lora.CR46
+	CR47 = lora.CR47
+	CR48 = lora.CR48
+)
+
+// DefaultLoRaParams returns the paper's case-study configuration:
+// SF8, 125 kHz, CR 4/5, explicit header, CRC, 10-symbol preamble.
+func DefaultLoRaParams() LoRaParams { return lora.DefaultParams() }
+
+// LoRaSensitivityDBm returns the receive sensitivity the platform achieves
+// for a spreading factor and bandwidth (−126 dBm at SF8/125 kHz, matching
+// both the paper's measurement and the SX1276 datasheet).
+func LoRaSensitivityDBm(sf int, bwHz float64) float64 {
+	return lora.SensitivityDBm(sf, bwHz, radio.SX1276NoiseFigureDB)
+}
+
+// LoRaNoiseFloorDBm returns the receiver noise floor for a configuration's
+// sampled bandwidth — the floor to hand to NewChannel for link simulations.
+func LoRaNoiseFloorDBm(p LoRaParams) float64 {
+	return channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
+}
+
+// Channel is an AWGN channel with a fixed receiver noise floor.
+type Channel = channel.AWGN
+
+// NewChannel returns a deterministic AWGN channel (floor in dBm over the
+// sampled bandwidth).
+func NewChannel(seed int64, floorDBm float64) *Channel {
+	return channel.NewAWGN(seed, floorDBm)
+}
+
+// PathLoss is the log-distance propagation model used for deployments.
+type PathLoss = channel.LogDistance
+
+// Beacon is a BLE non-connectable advertisement.
+type Beacon = ble.Beacon
+
+// Advertiser transmits a beacon across the three advertising channels.
+type Advertiser = ble.Advertiser
+
+// NewAdvertiser returns an advertiser for a beacon at the given samples
+// per symbol (4 matches the radio's 4 MHz interface at 1 Mbps).
+func NewAdvertiser(b Beacon, sps int) (*Advertiser, error) {
+	return ble.NewAdvertiser(b, sps)
+}
+
+// BLEDemodulator is the discriminator receiver used to verify beacons.
+type BLEDemodulator = ble.Demodulator
+
+// NewBLEDemodulator returns a beacon receiver.
+func NewBLEDemodulator(sps int) (*BLEDemodulator, error) { return ble.NewDemodulator(sps) }
+
+// Design is a synthesized FPGA configuration with its resource footprint.
+type Design = fpga.Design
+
+// LoRaDesign returns the LoRa transceiver FPGA design for a spreading
+// factor (modulator + demodulator, ~15% of the part).
+func LoRaDesign(sf int) *Design { return fpga.LoRaTRXDesign(sf) }
+
+// BLEDesign returns the BLE beacon generator design (3% of the part).
+func BLEDesign() *Design { return fpga.BLEBeaconDesign() }
+
+// SynthBitstream generates the 579 kB configuration image for a design.
+func SynthBitstream(d *Design) []byte { return fpga.SynthBitstream(d) }
+
+// SynthMCUFirmware generates a synthetic MCU firmware image.
+func SynthMCUFirmware(size int, seed int64) []byte { return fpga.SynthMCUFirmware(size, seed) }
+
+// Update is a firmware image prepared for over-the-air distribution.
+type Update = ota.Update
+
+// UpdateTarget selects what an update reprograms.
+type UpdateTarget = ota.Target
+
+// Update targets.
+const (
+	TargetFPGA = ota.TargetFPGA
+	TargetMCU  = ota.TargetMCU
+)
+
+// BuildUpdate compresses and packetizes a firmware image (30 kB miniLZO
+// blocks, 60-byte LoRa packets).
+func BuildUpdate(target UpdateTarget, image []byte) (*Update, error) {
+	return ota.BuildUpdate(target, image)
+}
+
+// OTASession drives one node's firmware update over the LoRa backbone.
+type OTASession = ota.Session
+
+// NewOTASession returns a session for a device at the given link RSSI.
+func NewOTASession(d *Device, rssiDBm float64, seed int64) *OTASession {
+	return ota.NewSession(d.OTA, rssiDBm, seed)
+}
+
+// Testbed is the 20-node campus deployment of the paper's evaluation.
+type Testbed = testbed.Campus
+
+// TestbedResult is one node's outcome in a fleet update.
+type TestbedResult = testbed.ProgramResult
+
+// NewTestbed returns the deterministic campus deployment for a seed.
+func NewTestbed(seed int64) *Testbed { return testbed.NewCampus(seed) }
+
+// TestbedCDF summarizes fleet programming durations as an empirical CDF.
+func TestbedCDF(results []TestbedResult) []testbed.CDFPoint { return testbed.CDF(results) }
+
+// ConcurrentDecoder demodulates multiple concurrent LoRa configurations
+// with different chirp slopes from one sample stream (§6 of the paper).
+type ConcurrentDecoder = concurrent.Decoder
+
+// NewConcurrentDecoder builds a decoder for configurations sharing a
+// common sample rate.
+func NewConcurrentDecoder(sampleRate float64, configs []LoRaParams) (*ConcurrentDecoder, error) {
+	return concurrent.NewDecoder(sampleRate, configs)
+}
+
+// ConcurrentTransmitter produces symbol streams at the decoder's rate.
+type ConcurrentTransmitter = concurrent.Transmitter
+
+// NewConcurrentTransmitter returns a transmitter for one configuration.
+func NewConcurrentTransmitter(sampleRate float64, p LoRaParams) (*ConcurrentTransmitter, error) {
+	return concurrent.NewTransmitter(sampleRate, p)
+}
+
+// LoRaWANSession is a TTN-compatible MAC security context (ABP or OTAA).
+type LoRaWANSession = lorawan.Session
+
+// NewABPSession returns a personalized (ABP) LoRaWAN session.
+func NewABPSession(addr uint32, nwkSKey, appSKey [16]byte) *LoRaWANSession {
+	return lorawan.NewABPSession(lorawan.DevAddr(addr), nwkSKey, appSKey)
+}
+
+// LoRaWANFrame is a LoRaWAN data message.
+type LoRaWANFrame = lorawan.DataFrame
+
+// AdaptSF selects the fastest spreading factor with the requested link
+// margin at an observed RSSI — the §7 rate-adaptation primitive.
+func AdaptSF(rssiDBm, bwHz, marginDB float64) int {
+	return lora.AdaptSF(rssiDBm, bwHz, radio.SX1276NoiseFigureDB, marginDB)
+}
+
+// Ranger measures range by multi-carrier phase (§7 localization).
+type Ranger = localize.Ranger
+
+// NewRanger returns a ranger over the given carrier frequencies.
+func NewRanger(freqs []float64, samplesPerTone int) (*Ranger, error) {
+	return localize.NewRanger(freqs, samplesPerTone)
+}
+
+// Anchor is a reference node at a known position.
+type Anchor = localize.Anchor
+
+// LocalizationSystem is a distributed set of ranging anchors.
+type LocalizationSystem = localize.System
+
+// Trilaterate solves 2D position from anchor ranges.
+func Trilaterate(anchors []Anchor, ranges []float64) (x, y float64, err error) {
+	return localize.Trilaterate(anchors, ranges)
+}
+
+// BackscatterConfig describes a backscatter link (§7 low-power readers).
+type BackscatterConfig = backscatter.Config
+
+// BackscatterTag models a reflecting endpoint.
+type BackscatterTag = backscatter.Tag
+
+// BackscatterReader decodes tag bits from the platform's I/Q stream.
+type BackscatterReader = backscatter.Reader
+
+// NewBackscatterReader returns a reader for the configuration.
+func NewBackscatterReader(c BackscatterConfig) (*BackscatterReader, error) {
+	return backscatter.NewReader(c)
+}
+
+// DefaultBackscatterConfig is a 100 kHz subcarrier, 10 kbps link at the
+// platform's 4 MHz interface.
+func DefaultBackscatterConfig() BackscatterConfig { return backscatter.DefaultConfig() }
+
+// BackscatterExcite produces the exciter tone (the Fig. 8 single-tone
+// generator).
+func BackscatterExcite(c BackscatterConfig, samples int) Samples {
+	return backscatter.Excite(c, samples)
+}
+
+// BroadcastOTASession programs a whole fleet with the §7 broadcast MAC.
+type BroadcastOTASession = ota.BroadcastSession
+
+// BroadcastTarget pairs a device with its downlink quality.
+type BroadcastTarget = ota.BroadcastTarget
+
+// NewBroadcastOTASession returns a broadcast session over the fleet.
+func NewBroadcastOTASession(targets []BroadcastTarget, seed int64) *BroadcastOTASession {
+	return ota.NewBroadcastSession(targets, seed)
+}
