@@ -6,22 +6,41 @@
 //	tinysdr-eval -list
 //	tinysdr-eval -run all
 //	tinysdr-eval -run fig10,fig14 -quick -seed 7
+//	tinysdr-eval -run fig10,fig11 -bench-json   # machine-readable metrics
+//
+// Monte-Carlo sweeps fan out across all CPUs by default; -workers bounds
+// the pool. Results are bit-identical for any worker count (see
+// PERFORMANCE.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/uwsdr/tinysdr/internal/eval"
 )
+
+// benchEntry is one experiment's machine-readable record.
+type benchEntry struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Millis  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 	quick := flag.Bool("quick", false, "reduce Monte-Carlo trial counts")
 	seed := flag.Int64("seed", 1, "PRNG seed for all experiments")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs)")
+	benchJSON := flag.Bool("bench-json", false,
+		"emit per-experiment wall time and headline metrics as JSON instead of rendered text")
 	flag.Parse()
 
 	if *list {
@@ -45,14 +64,42 @@ func main() {
 		}
 	}
 
-	cfg := eval.Config{Quick: *quick, Seed: *seed}
+	cfg := eval.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	var bench []benchEntry
 	for _, e := range selected {
-		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		if !*benchJSON {
+			fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		}
+		start := time.Now()
 		r, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if *benchJSON {
+			bench = append(bench, benchEntry{
+				ID:      e.ID,
+				Title:   e.Title,
+				Millis:  float64(time.Since(start).Microseconds()) / 1e3,
+				Metrics: r.Metrics,
+			})
+			continue
+		}
 		fmt.Println(r.Text)
+	}
+
+	if *benchJSON {
+		sort.Slice(bench, func(i, j int) bool { return bench[i].ID < bench[j].ID })
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"seed":        *seed,
+			"quick":       *quick,
+			"workers":     *workers,
+			"experiments": bench,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

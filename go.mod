@@ -1,0 +1,3 @@
+module github.com/uwsdr/tinysdr
+
+go 1.24

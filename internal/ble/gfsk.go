@@ -93,9 +93,17 @@ func (m *Modulator) ModulateBeacon(b Beacon, channel int) (iq.Samples, error) {
 // architecture of commercial BLE silicon like the CC2650 that Fig. 12
 // measures against. The chain is: channel-select low-pass, phase
 // differentiation, integrate-and-dump over each bit, threshold.
+//
+// A Demodulator reuses internal scratch buffers across calls, so it is NOT
+// safe for concurrent use; give each goroutine its own instance.
 type Demodulator struct {
 	SPS    int
 	chFilt *dsp.FIR
+
+	// Scratch arena, grown to the largest signal seen.
+	filt iq.Samples // channel-filtered signal
+	freq []float64  // instantaneous frequency track
+	bits []int      // candidate-bit scan buffer (Receive only)
 }
 
 // NewDemodulator returns a receiver matching the modulator's oversampling.
@@ -108,11 +116,19 @@ func NewDemodulator(sps int) (*Demodulator, error) {
 	return &Demodulator{SPS: sps, chFilt: dsp.NewLowpass(4*sps+1, cutoff)}, nil
 }
 
-// discriminate returns the per-sample instantaneous frequency (radians per
-// sample) of the filtered signal.
+// discriminate computes the per-sample instantaneous frequency (radians per
+// sample) of the filtered signal into the demodulator's scratch, which
+// stays valid until the next discriminate call.
 func (d *Demodulator) discriminate(sig iq.Samples) []float64 {
-	filtered := d.chFilt.Filter(sig)
-	freq := make([]float64, len(filtered))
+	if cap(d.filt) < len(sig) {
+		d.filt = make(iq.Samples, len(sig))
+		d.freq = make([]float64, len(sig))
+	}
+	filtered := d.chFilt.FilterInto(d.filt[:len(sig)], sig)
+	freq := d.freq[:len(sig)]
+	if len(freq) > 0 {
+		freq[0] = 0
+	}
 	for i := 1; i < len(filtered); i++ {
 		prev := filtered[i-1]
 		cur := filtered[i]
@@ -121,11 +137,11 @@ func (d *Demodulator) discriminate(sig iq.Samples) []float64 {
 	return freq
 }
 
-// DemodBits recovers nbits bits from sig, where the first bit's samples
-// begin at startOffset. Integrate-and-dump over each bit period.
-func (d *Demodulator) DemodBits(sig iq.Samples, startOffset, nbits int) []int {
-	freq := d.discriminate(sig)
-	bits := make([]int, 0, nbits)
+// sliceBits integrates and dumps nbits bit decisions from a frequency track
+// into dst, starting at startOffset samples. dst is truncated where the
+// track ends. It performs no allocation.
+func (d *Demodulator) sliceBits(dst []int, freq []float64, startOffset, nbits int) []int {
+	dst = dst[:0]
 	for i := 0; i < nbits; i++ {
 		lo := startOffset + i*d.SPS
 		hi := lo + d.SPS
@@ -137,12 +153,18 @@ func (d *Demodulator) DemodBits(sig iq.Samples, startOffset, nbits int) []int {
 			acc += f
 		}
 		if acc >= 0 {
-			bits = append(bits, 1)
+			dst = append(dst, 1)
 		} else {
-			bits = append(bits, 0)
+			dst = append(dst, 0)
 		}
 	}
-	return bits
+	return dst
+}
+
+// DemodBits recovers nbits bits from sig, where the first bit's samples
+// begin at startOffset. Integrate-and-dump over each bit period.
+func (d *Demodulator) DemodBits(sig iq.Samples, startOffset, nbits int) []int {
+	return d.sliceBits(make([]int, 0, nbits), d.discriminate(sig), startOffset, nbits)
 }
 
 // Receive locates one beacon in sig by scanning bit-timing offsets for the
@@ -155,9 +177,18 @@ func (d *Demodulator) Receive(sig iq.Samples, channel int) (Beacon, error) {
 	aahdr := [5]byte{Preamble, byte(aa), byte(aa >> 8), byte(aa >> 16), byte(aa >> 24)}
 	want = append(want, AirBits(aahdr[:])...)
 
+	// Discriminate once and scan bit-timing offsets over the cached
+	// frequency track — the filter is the dominant cost and is identical
+	// for every offset.
+	freq := d.discriminate(sig)
+	if cap(d.bits) < aaBits {
+		d.bits = make([]int, 0, aaBits)
+	}
 	limit := len(sig) - (aaBits+8)*d.SPS
 	for off := 0; off <= limit; off++ {
-		got := d.DemodBits(sig, off, aaBits)
+		// aaBits never exceeds d.bits's preallocated capacity, so
+		// sliceBits fills the same backing array every iteration.
+		got := d.sliceBits(d.bits, freq, off, aaBits)
 		if len(got) < aaBits {
 			break
 		}
@@ -171,7 +202,7 @@ func (d *Demodulator) Receive(sig iq.Samples, channel int) (Beacon, error) {
 			continue
 		}
 		// Decode the header to learn the length, then the full PDU.
-		hdrBits := d.DemodBits(sig, off+aaBits*d.SPS, 16)
+		hdrBits := d.sliceBits(make([]int, 0, 16), freq, off+aaBits*d.SPS, 16)
 		if len(hdrBits) < 16 {
 			continue
 		}
@@ -182,7 +213,7 @@ func (d *Demodulator) Receive(sig iq.Samples, channel int) (Beacon, error) {
 			continue
 		}
 		totalBits := (5 + 2 + length + 3) * 8
-		bits := d.DemodBits(sig, off, totalBits)
+		bits := d.sliceBits(make([]int, 0, totalBits), freq, off, totalBits)
 		if len(bits) < totalBits {
 			continue
 		}

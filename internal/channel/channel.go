@@ -28,6 +28,7 @@ func NoiseFloorDBm(bwHz, noiseFigureDB float64) float64 {
 type AWGN struct {
 	rng      *rand.Rand
 	floorDBm float64
+	noise    iq.Samples // ApplyInto scratch, grown to the largest record
 }
 
 // NewAWGN returns a channel with the given integrated noise floor in dBm.
@@ -38,23 +39,49 @@ func NewAWGN(seed int64, floorDBm float64) *AWGN {
 // FloorDBm returns the configured noise floor.
 func (c *AWGN) FloorDBm() float64 { return c.floorDBm }
 
+// NoiseInto fills dst with receiver noise at the floor power and returns
+// dst. It performs no allocation.
+func (c *AWGN) NoiseInto(dst iq.Samples) iq.Samples {
+	sigma := math.Sqrt(iq.DBmToMilliwatts(c.floorDBm) / 2)
+	for i := range dst {
+		dst[i] = complex(c.rng.NormFloat64()*sigma, c.rng.NormFloat64()*sigma)
+	}
+	return dst
+}
+
 // Noise returns n samples of receiver noise at the floor power.
 func (c *AWGN) Noise(n int) iq.Samples {
-	sigma := math.Sqrt(iq.DBmToMilliwatts(c.floorDBm) / 2)
-	out := make(iq.Samples, n)
-	for i := range out {
-		out[i] = complex(c.rng.NormFloat64()*sigma, c.rng.NormFloat64()*sigma)
+	return c.NoiseInto(make(iq.Samples, n))
+}
+
+// ApplyInto writes sig received at the given RSSI into dst: the transmit
+// waveform is scaled so its mean power equals rssiDBm, then summed with
+// noise at the floor. len(dst) must equal len(sig); dst may alias sig only
+// if they are the same slice. It draws exactly the same RNG sequence as
+// Apply, so a sweep rewritten onto caller scratch reproduces Apply's
+// output bit for bit, without the two allocations per packet.
+func (c *AWGN) ApplyInto(dst, sig iq.Samples, rssiDBm float64) iq.Samples {
+	if len(dst) != len(sig) {
+		panic("channel: ApplyInto length mismatch")
 	}
-	return out
+	copy(dst, sig)
+	dst.ScaleToDBm(rssiDBm)
+	return dst.Add(c.NoiseInto(c.scratchNoise(len(dst))))
+}
+
+// scratchNoise returns the channel's noise scratch buffer at size n.
+func (c *AWGN) scratchNoise(n int) iq.Samples {
+	if cap(c.noise) < n {
+		c.noise = make(iq.Samples, n)
+	}
+	return c.noise[:n]
 }
 
 // Apply returns sig received at the given RSSI with noise added: the
 // transmit waveform is scaled so its mean power equals rssiDBm, then summed
 // with noise at the floor. The input is not modified.
 func (c *AWGN) Apply(sig iq.Samples, rssiDBm float64) iq.Samples {
-	out := sig.Clone()
-	out.ScaleToDBm(rssiDBm)
-	return out.Add(c.Noise(len(out)))
+	return c.ApplyInto(make(iq.Samples, len(sig)), sig, rssiDBm)
 }
 
 // ApplyMulti superimposes several transmissions, each at its own RSSI and

@@ -124,34 +124,51 @@ func (st *ChirpStream) Downchirp() iq.Samples {
 	return st.Symbol(0, true, st.g.SymbolLen())
 }
 
+// DechirpInto multiplies x by the conjugate of ref element-wise into dst —
+// the Complex Multiplier block of the demodulator — and returns dst. All
+// three buffers must have equal length; dst may alias x. It performs no
+// allocation.
+func DechirpInto(dst, x, ref iq.Samples) iq.Samples {
+	if len(x) != len(ref) {
+		panic(fmt.Sprintf("dsp: dechirp length mismatch %d != %d", len(x), len(ref)))
+	}
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dsp: dechirp dst length mismatch %d != %d", len(dst), len(x)))
+	}
+	for i := range x {
+		r := ref[i]
+		dst[i] = x[i] * complex(real(r), -imag(r))
+	}
+	return dst
+}
+
 // Dechirp multiplies x by the conjugate of ref element-wise into a new
 // buffer — the Complex Multiplier block of the demodulator. The buffers must
 // have equal length.
 func Dechirp(x, ref iq.Samples) iq.Samples {
-	if len(x) != len(ref) {
-		panic(fmt.Sprintf("dsp: dechirp length mismatch %d != %d", len(x), len(ref)))
+	return DechirpInto(make(iq.Samples, len(x)), x, ref)
+}
+
+// FoldBinsInto combines the FFT magnitudes of a dechirped oversampled symbol
+// into len(dst) decision bins and returns dst. With oversampling, the energy
+// of cyclic shift k splits between FFT bins k and k-N (mod S); folding
+// re-merges them so the detector sees one peak per candidate shift. dst must
+// not alias mags. It performs no allocation.
+func FoldBinsInto(dst, mags []float64) []float64 {
+	s := len(mags)
+	numChips := len(dst)
+	if s == numChips {
+		copy(dst, mags)
+		return dst
 	}
-	out := make(iq.Samples, len(x))
-	for i := range x {
-		r := ref[i]
-		out[i] = x[i] * complex(real(r), -imag(r))
+	for k := 0; k < numChips; k++ {
+		dst[k] = mags[k] + mags[(s-numChips+k)%s]
 	}
-	return out
+	return dst
 }
 
 // FoldBins combines the FFT magnitudes of a dechirped oversampled symbol into
-// numChips decision bins. With oversampling, the energy of cyclic shift k
-// splits between FFT bins k and k-N (mod S); folding re-merges them so the
-// detector sees one peak per candidate shift.
+// numChips decision bins.
 func FoldBins(mags []float64, numChips int) []float64 {
-	s := len(mags)
-	out := make([]float64, numChips)
-	if s == numChips {
-		copy(out, mags)
-		return out
-	}
-	for k := 0; k < numChips; k++ {
-		out[k] = mags[k] + mags[(s-numChips+k)%s]
-	}
-	return out
+	return FoldBinsInto(make([]float64, numChips), mags)
 }

@@ -4,6 +4,13 @@
 // spectral estimation for the evaluation harness.
 //
 // All blocks operate on iq.Samples and are deterministic.
+//
+// The transform entry points come in two flavors: the package-level
+// functions (FFT, Magnitudes, Dechirp, FoldBins) allocate their outputs and
+// are convenient for tests and one-shot use, while FFTPlan and the *Into
+// variants write into caller-provided scratch and perform zero heap
+// allocations in steady state — the contract the demodulator hot paths rely
+// on (see PERFORMANCE.md).
 package dsp
 
 import (
@@ -14,43 +21,62 @@ import (
 	"github.com/uwsdr/tinysdr/internal/iq"
 )
 
-// twiddle factor cache, keyed by FFT size.
-var (
-	twiddleMu    sync.Mutex
-	twiddleCache = map[int][]complex128{}
-)
-
-func twiddles(n int) []complex128 {
-	twiddleMu.Lock()
-	defer twiddleMu.Unlock()
-	if w, ok := twiddleCache[n]; ok {
-		return w
-	}
-	w := make([]complex128, n/2)
-	for i := range w {
-		ang := -2 * math.Pi * float64(i) / float64(n)
-		w[i] = complex(math.Cos(ang), math.Sin(ang))
-	}
-	twiddleCache[n] = w
-	return w
+// FFTPlan holds the precomputed twiddle factors and bit-reversal
+// permutation for one transform size — the radix-2 datapath the FPGA's FFT
+// core instantiates per configuration. A plan is immutable after
+// construction and safe for concurrent use; Transform itself mutates only
+// its argument and performs no locking and no allocation.
+type FFTPlan struct {
+	n   int
+	w   []complex128 // n/2 twiddles e^{-2πik/n}
+	rev []int32      // bit-reversal permutation, rev[i] < i entries swap
 }
 
-// IsPowerOfTwo reports whether n is a positive power of two.
-func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
-
-// FFT computes the in-place radix-2 decimation-in-time FFT of x.
-// len(x) must be a positive power of two; FFT panics otherwise, mirroring
-// the fixed-size FFT core configured on the FPGA.
-func FFT(x iq.Samples) {
-	n := len(x)
+// NewFFTPlan returns a plan for size n. n must be a positive power of two;
+// NewFFTPlan panics otherwise, mirroring the fixed-size FFT core configured
+// on the FPGA.
+func NewFFTPlan(n int) *FFTPlan {
 	if !IsPowerOfTwo(n) {
 		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
+	}
+	p := &FFTPlan{n: n}
+	p.w = make([]complex128, n/2)
+	for i := range p.w {
+		ang := -2 * math.Pi * float64(i) / float64(n)
+		p.w[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	p.rev = make([]int32, n)
+	for i, j := 0, 0; i < n; i++ {
+		p.rev[i] = int32(j)
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+	return p
+}
+
+// Size returns the transform size the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Transform computes the in-place radix-2 decimation-in-time FFT of x.
+// len(x) must equal the plan size. It performs no allocation.
+func (p *FFTPlan) Transform(x iq.Samples) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: FFT input length %d != plan size %d", len(x), n))
 	}
 	if n == 1 {
 		return
 	}
-	bitReverse(x)
-	w := twiddles(n)
+	for i, r := range p.rev {
+		if int(r) > i {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	w := p.w
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
@@ -65,33 +91,48 @@ func FFT(x iq.Samples) {
 	}
 }
 
-// IFFT computes the in-place inverse FFT of x with 1/N normalization.
-func IFFT(x iq.Samples) {
-	n := len(x)
+// Inverse computes the in-place inverse FFT of x with 1/N normalization.
+// It performs no allocation.
+func (p *FFTPlan) Inverse(x iq.Samples) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: IFFT input length %d != plan size %d", len(x), p.n))
+	}
 	for i := range x {
 		x[i] = complex(real(x[i]), -imag(x[i]))
 	}
-	FFT(x)
-	inv := 1 / float64(n)
+	p.Transform(x)
+	inv := 1 / float64(p.n)
 	for i := range x {
 		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
 	}
 }
 
-func bitReverse(x iq.Samples) {
-	n := len(x)
-	for i, j := 0, 0; i < n; i++ {
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-		mask := n >> 1
-		for j&mask != 0 {
-			j &^= mask
-			mask >>= 1
-		}
-		j |= mask
+// planCache holds shared plans for the package-level FFT/IFFT entry points.
+// sync.Map gives a lock-free fast path once a size has been planned.
+var planCache sync.Map // int -> *FFTPlan
+
+// PlanFFT returns a shared immutable plan for size n, creating it on first
+// use. Hot paths that own their buffer sizes should hold their own plan
+// from NewFFTPlan instead; this cache exists for the convenience entry
+// points below.
+func PlanFFT(n int) *FFTPlan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*FFTPlan)
 	}
+	p, _ := planCache.LoadOrStore(n, NewFFTPlan(n))
+	return p.(*FFTPlan)
 }
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x.
+// len(x) must be a positive power of two; FFT panics otherwise, mirroring
+// the fixed-size FFT core configured on the FPGA.
+func FFT(x iq.Samples) { PlanFFT(len(x)).Transform(x) }
+
+// IFFT computes the in-place inverse FFT of x with 1/N normalization.
+func IFFT(x iq.Samples) { PlanFFT(len(x)).Inverse(x) }
 
 // PeakBin returns the index and squared magnitude of the largest FFT bin.
 // It is the Symbol Detector block of the LoRa demodulator (Fig. 6b).
@@ -105,11 +146,20 @@ func PeakBin(x iq.Samples) (bin int, power float64) {
 	return bin, power
 }
 
+// MagnitudesInto writes the squared magnitude of each element of x into
+// dst and returns dst. len(dst) must equal len(x). It performs no
+// allocation.
+func MagnitudesInto(dst []float64, x iq.Samples) []float64 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dsp: magnitudes length mismatch %d != %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return dst
+}
+
 // Magnitudes returns the squared magnitude of each element.
 func Magnitudes(x iq.Samples) []float64 {
-	m := make([]float64, len(x))
-	for i, v := range x {
-		m[i] = real(v)*real(v) + imag(v)*imag(v)
-	}
-	return m
+	return MagnitudesInto(make([]float64, len(x)), x)
 }

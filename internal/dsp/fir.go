@@ -66,42 +66,71 @@ func (f *FIR) Taps() []float64 {
 // Len returns the number of taps.
 func (f *FIR) Len() int { return len(f.taps) }
 
-// Filter convolves x with the taps and returns a buffer of the same length
+// FilterInto convolves x with the taps into dst and returns dst
 // (zero-padded edges, linear-phase alignment to the group delay).
-func (f *FIR) Filter(x iq.Samples) iq.Samples {
+// len(dst) must equal len(x); dst must not alias x. It performs no
+// allocation — the hot-path entry the demodulator scratch arenas use.
+func (f *FIR) FilterInto(dst, x iq.Samples) iq.Samples {
 	n := len(x)
-	out := make(iq.Samples, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: FIR dst length mismatch %d != %d", len(dst), n))
+	}
 	delay := (len(f.taps) - 1) / 2
 	for i := 0; i < n; i++ {
 		var acc complex128
-		for k, tap := range f.taps {
-			j := i + delay - k
-			if j >= 0 && j < n {
-				acc += x[j] * complex(tap, 0)
-			}
+		// Clamp the tap range so the inner loop carries no bounds test.
+		kLo := i + delay - (n - 1)
+		if kLo < 0 {
+			kLo = 0
 		}
-		out[i] = acc
+		kHi := i + delay
+		if kHi > len(f.taps)-1 {
+			kHi = len(f.taps) - 1
+		}
+		for k := kLo; k <= kHi; k++ {
+			acc += x[i+delay-k] * complex(f.taps[k], 0)
+		}
+		dst[i] = acc
 	}
-	return out
+	return dst
+}
+
+// Filter convolves x with the taps and returns a buffer of the same length
+// (zero-padded edges, linear-phase alignment to the group delay).
+func (f *FIR) Filter(x iq.Samples) iq.Samples {
+	return f.FilterInto(make(iq.Samples, len(x)), x)
+}
+
+// FilterRealInto convolves a real-valued sequence with the taps into dst,
+// with the same alignment semantics as FilterInto.
+func (f *FIR) FilterRealInto(dst, x []float64) []float64 {
+	n := len(x)
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: FIR dst length mismatch %d != %d", len(dst), n))
+	}
+	delay := (len(f.taps) - 1) / 2
+	for i := 0; i < n; i++ {
+		var acc float64
+		kLo := i + delay - (n - 1)
+		if kLo < 0 {
+			kLo = 0
+		}
+		kHi := i + delay
+		if kHi > len(f.taps)-1 {
+			kHi = len(f.taps) - 1
+		}
+		for k := kLo; k <= kHi; k++ {
+			acc += x[i+delay-k] * f.taps[k]
+		}
+		dst[i] = acc
+	}
+	return dst
 }
 
 // FilterReal convolves a real-valued sequence with the taps, with the same
 // alignment semantics as Filter.
 func (f *FIR) FilterReal(x []float64) []float64 {
-	n := len(x)
-	out := make([]float64, n)
-	delay := (len(f.taps) - 1) / 2
-	for i := 0; i < n; i++ {
-		var acc float64
-		for k, tap := range f.taps {
-			j := i + delay - k
-			if j >= 0 && j < n {
-				acc += x[j] * tap
-			}
-		}
-		out[i] = acc
-	}
-	return out
+	return f.FilterRealInto(make([]float64, len(x)), x)
 }
 
 // Response returns the filter's power gain in dB at the given normalized

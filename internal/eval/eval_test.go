@@ -149,8 +149,8 @@ func TestFig11Sensitivity(t *testing.T) {
 	r := runExp(t, "fig11")
 	// Our full-precision FFT demodulator reaches 10% SER at the
 	// theoretical 256-ary noncoherent limit, 2-3 dB below the Semtech
-	// silicon's effective -126 dBm (see EXPERIMENTS.md). Accept the band
-	// between theory and the datasheet point.
+	// silicon's effective -126 dBm. Accept the band between theory and
+	// the datasheet point.
 	if got := r.Metrics["sens_bw125_dBm"]; got < -131 || got > -125 {
 		t.Errorf("demod sensitivity = %.1f dBm, want in [-131, -125]", got)
 	}
@@ -198,9 +198,9 @@ func TestFig15aSensitivityLoss(t *testing.T) {
 	r := runExp(t, "fig15a")
 	// Paper: ~2 dB loss for BW125, ~0.5 dB for BW250. With a
 	// floating-point receive pipeline the equal-power interferer sits
-	// ~13 dB below the noise floor, so the measurable loss is near zero
-	// (see EXPERIMENTS.md); assert the reproducible shape: the BW125
-	// chain suffers at least as much as BW250, and both stay small.
+	// ~13 dB below the noise floor, so the measurable loss is near zero.
+	// Assert the reproducible shape: the BW125 chain suffers at least as
+	// much as BW250, and both stay small.
 	l125, l250 := r.Metrics["loss125_dB"], r.Metrics["loss250_dB"]
 	if l125 < l250-0.3 {
 		t.Errorf("BW125 loss %.1f dB below BW250 loss %.1f dB; paper ordering violated", l125, l250)

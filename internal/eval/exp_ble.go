@@ -9,6 +9,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/channel"
 	"github.com/uwsdr/tinysdr/internal/core"
 	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/iq"
 	"github.com/uwsdr/tinysdr/internal/mcu"
 	"github.com/uwsdr/tinysdr/internal/power"
 	"github.com/uwsdr/tinysdr/internal/radio"
@@ -27,10 +28,6 @@ func Fig12(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	demod, err := ble.NewDemodulator(bleSPS)
-	if err != nil {
-		return nil, err
-	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 12))
 	bits := make([]int, bitsPerPoint)
 	for i := range bits {
@@ -40,18 +37,35 @@ func Fig12(cfg Config) (*Result, error) {
 	floor := channel.NoiseFloorDBm(mod.SampleRate(), radio.CC2650NoiseFigureDB)
 	pad := bleSPS * 3 / 2
 
-	var rssis, bers []float64
-	for rssi := -102.0; rssi <= -84; rssi += 2 {
-		ch := channel.NewAWGN(cfg.Seed+int64(rssi*10), floor)
-		got := demod.DemodBits(ch.Apply(sig, rssi), pad, bitsPerPoint)
-		errs := 0
-		for i := range got {
-			if got[i] != bits[i] {
-				errs++
+	// One trial per RSSI point; each worker's discriminator owns its own
+	// scratch, and each point's noise derives only from (seed, RSSI).
+	type berState struct {
+		demod *ble.Demodulator
+		rx    iq.Samples
+	}
+	rssis := sweep(-102, -84, 2)
+	bers, err := runTrials(cfg.Workers, len(rssis),
+		func() (*berState, error) {
+			demod, err := ble.NewDemodulator(bleSPS)
+			if err != nil {
+				return nil, err
 			}
-		}
-		rssis = append(rssis, rssi)
-		bers = append(bers, float64(errs)/float64(len(got)))
+			return &berState{demod: demod, rx: make(iq.Samples, len(sig))}, nil
+		},
+		func(s *berState, i int) (float64, error) {
+			rssi := rssis[i]
+			ch := channel.NewAWGN(cfg.Seed+int64(rssi*10), floor)
+			got := s.demod.DemodBits(ch.ApplyInto(s.rx, sig, rssi), pad, bitsPerPoint)
+			errs := 0
+			for k := range got {
+				if got[k] != bits[k] {
+					errs++
+				}
+			}
+			return float64(errs) / float64(len(got)), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	sens := Interpolate(rssis, bers, 1e-3)
 	series := []Series{{Name: "tinySDR BLE beacon", X: rssis, Y: bers}}

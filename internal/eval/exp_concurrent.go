@@ -89,26 +89,37 @@ func Fig15a(cfg Config) (*Result, error) {
 	// transmitter silenced gives the single-link baseline each
 	// concurrent curve is compared against (the paper's Fig. 11 vs 15a).
 	const off = -200 // effectively silent interferer
-	var x, y1, y2, solo1, solo2 []float64
-	for m := -8.0; m <= 10; m += 1.75 {
+	// One trial per sweep point: concurrent pair plus the two single-link
+	// controls, each with its own (seed, point) substream.
+	type point struct{ ser1, ser2, solo1, solo2 float64 }
+	margins := sweep(-8, 10, 1.75)
+	pts, err := forTrials(cfg.Workers, len(margins), func(i int) (point, error) {
+		m := margins[i]
 		rssi := sens125 + m
 		ser1, ser2, err := concurrentSER(symbols, rssi, rssi, cfg.Seed+int64(m*100))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		s1, _, err := concurrentSER(symbols, rssi, off, cfg.Seed+int64(m*100)+7)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		_, s2, err := concurrentSER(symbols, off, rssi, cfg.Seed+int64(m*100)+13)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		x = append(x, rssi)
-		y1 = append(y1, ser1*100)
-		y2 = append(y2, ser2*100)
-		solo1 = append(solo1, s1)
-		solo2 = append(solo2, s2)
+		return point{ser1, ser2, s1, s2}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var x, y1, y2, solo1, solo2 []float64
+	for i, p := range pts {
+		x = append(x, sens125+margins[i])
+		y1 = append(y1, p.ser1*100)
+		y2 = append(y2, p.ser2*100)
+		solo1 = append(solo1, p.solo1)
+		solo2 = append(solo2, p.solo2)
 	}
 	series := []Series{
 		{Name: "SF8, BW125kHz (concurrent)", X: x, Y: y1},
@@ -145,14 +156,17 @@ func Fig15b(cfg Config) (*Result, error) {
 		symbols = 60
 	}
 	weak := lora.SensitivityDBm(8, 125e3, radio.NoiseFigureDB) + 3 // near concurrent sensitivity
-	var x, y []float64
-	for p := -130.0; p <= -104; p += 3 {
-		ser1, _, err := concurrentSER(symbols, weak, p, cfg.Seed+int64(p*10))
-		if err != nil {
-			return nil, err
-		}
-		x = append(x, p)
-		y = append(y, ser1*100)
+	x := sweep(-130, -104, 3)
+	sers, err := forTrials(cfg.Workers, len(x), func(i int) (float64, error) {
+		ser1, _, err := concurrentSER(symbols, weak, x[i], cfg.Seed+int64(x[i]*10))
+		return ser1, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, len(sers))
+	for i, s := range sers {
+		y[i] = s * 100
 	}
 	series := []Series{{Name: fmt.Sprintf("SF8 BW125 @ %.0f dBm", weak), X: x, Y: y}}
 	// Knee: the interferer power where SER first exceeds twice its

@@ -7,6 +7,7 @@ import (
 
 	"github.com/uwsdr/tinysdr/internal/channel"
 	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/iq"
 	"github.com/uwsdr/tinysdr/internal/lora"
 	"github.com/uwsdr/tinysdr/internal/radio"
 )
@@ -21,38 +22,47 @@ func fig10Params(bw float64, ideal bool) lora.Params {
 }
 
 // measurePER runs packets through modulator -> AWGN -> receiver and returns
-// the packet error rate at each RSSI.
-func measurePER(p lora.Params, rssis []float64, packets int, seed int64) ([]float64, error) {
+// the packet error rate at each RSSI. Each RSSI point is one trial of the
+// parallel runner: its channel RNG derives only from (seed, point index),
+// and each worker demodulates with its own scratch arena, so the PER curve
+// is bit-identical for any worker count.
+func measurePER(p lora.Params, rssis []float64, packets int, seed int64, workers int) ([]float64, error) {
 	mod, err := lora.NewModulator(p)
 	if err != nil {
 		return nil, err
 	}
 	rxParams := p
 	rxParams.Ideal = false
-	demod, err := lora.NewDemodulator(rxParams)
-	if err != nil {
-		return nil, err
-	}
 	floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
 	payload := []byte{0xA5, 0x5A, 0x3C}
 	sig, err := mod.Modulate(payload)
 	if err != nil {
 		return nil, err
 	}
-	pers := make([]float64, len(rssis))
-	for i, rssi := range rssis {
-		ch := channel.NewAWGN(seed+int64(i)*1000, floor)
-		failures := 0
-		for k := 0; k < packets; k++ {
-			rx := ch.Apply(sig, rssi)
-			pkt, err := demod.Receive(rx)
-			if err != nil || !pkt.CRCOK || !bytes.Equal(pkt.Payload, payload) {
-				failures++
-			}
-		}
-		pers[i] = float64(failures) / float64(packets)
+	type perState struct {
+		demod *lora.Demodulator
+		rx    iq.Samples
 	}
-	return pers, nil
+	return runTrials(workers, len(rssis),
+		func() (*perState, error) {
+			demod, err := lora.NewDemodulator(rxParams)
+			if err != nil {
+				return nil, err
+			}
+			return &perState{demod: demod, rx: make(iq.Samples, len(sig))}, nil
+		},
+		func(s *perState, i int) (float64, error) {
+			ch := channel.NewAWGN(seed+int64(i)*1000, floor)
+			failures := 0
+			for k := 0; k < packets; k++ {
+				rx := ch.ApplyInto(s.rx, sig, rssis[i])
+				pkt, err := s.demod.Receive(rx)
+				if err != nil || !pkt.CRCOK || !bytes.Equal(pkt.Payload, payload) {
+					failures++
+				}
+			}
+			return float64(failures) / float64(packets), nil
+		})
 }
 
 // Fig10 evaluates the LoRa modulator: tinySDR's LUT-datapath transmitter
@@ -79,7 +89,7 @@ func Fig10(cfg Config) (*Result, error) {
 			{"SX1276", true},
 		} {
 			p := fig10Params(bw, tx.ideal)
-			pers, err := measurePER(p, rssis, packets, cfg.Seed+int64(bw))
+			pers, err := measurePER(p, rssis, packets, cfg.Seed+int64(bw), cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -121,10 +131,6 @@ func Fig11(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		demod, err := lora.NewDemodulator(fig10Params(bw, false))
-		if err != nil {
-			return nil, err
-		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(bw)))
 		shifts := make([]int, symbols)
 		for i := range shifts {
@@ -136,19 +142,37 @@ func Fig11(cfg Config) (*Result, error) {
 		}
 		floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
 		sens := lora.SensitivityDBm(8, bw, radio.NoiseFigureDB)
-		var rssis, sers []float64
-		for m := -6.0; m <= 8; m += 1.75 {
-			rssi := sens + m
-			ch := channel.NewAWGN(cfg.Seed+int64(m*100)+int64(bw), floor)
-			got := demod.DemodAlignedSymbols(ch.Apply(sig, rssi))
-			errs := 0
-			for i := range shifts {
-				if got[i] != shifts[i] {
-					errs++
+		margins := sweep(-6, 8, 1.75)
+		rssis := make([]float64, len(margins))
+		for i, m := range margins {
+			rssis[i] = sens + m
+		}
+		type serState struct {
+			demod *lora.Demodulator
+			rx    iq.Samples
+		}
+		sers, err := runTrials(cfg.Workers, len(margins),
+			func() (*serState, error) {
+				demod, err := lora.NewDemodulator(fig10Params(bw, false))
+				if err != nil {
+					return nil, err
 				}
-			}
-			rssis = append(rssis, rssi)
-			sers = append(sers, float64(errs)/float64(symbols))
+				return &serState{demod: demod, rx: make(iq.Samples, len(sig))}, nil
+			},
+			func(s *serState, i int) (float64, error) {
+				m := margins[i]
+				ch := channel.NewAWGN(cfg.Seed+int64(m*100)+int64(bw), floor)
+				got := s.demod.DemodAlignedSymbols(ch.ApplyInto(s.rx, sig, rssis[i]))
+				errs := 0
+				for k := range shifts {
+					if got[k] != shifts[k] {
+						errs++
+					}
+				}
+				return float64(errs) / float64(symbols), nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		series = append(series, Series{
 			Name: fmt.Sprintf("SF8, BW%.0fkHz", bw/1e3), X: rssis, Y: percent(sers)})

@@ -80,7 +80,9 @@ func Fig14(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		results := campus.ProgramAll(u, job.design)
+		// Fleet programming fans out across nodes; per-node clocks and
+		// RNG substreams keep the CDF identical for any worker count.
+		results := campus.ProgramAllWorkers(u, job.design, resolveWorkers(cfg.Workers))
 		failed := 0
 		for _, r := range results {
 			if r.Err != nil {

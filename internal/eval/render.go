@@ -1,7 +1,8 @@
 // Package eval is the experiment harness: it regenerates every table and
 // figure of the paper's evaluation (§5, §6) from the simulation models, and
 // renders them as ASCII tables and plots for the CLI and the benchmark
-// suite. EXPERIMENTS.md records paper-vs-measured values for each.
+// suite. Monte-Carlo sweeps fan out across a deterministic trial-parallel
+// runner (see runner.go and PERFORMANCE.md at the repository root).
 package eval
 
 import (
@@ -144,6 +145,11 @@ type Config struct {
 	Quick bool
 	// Seed drives all experiment randomness.
 	Seed int64
+	// Workers bounds the trial-parallel runner's pool; 0 means
+	// runtime.NumCPU(). Results are identical for every value — each
+	// trial's randomness is a fixed function of Seed and the trial's
+	// index, never of scheduling (see runner.go).
+	Workers int
 }
 
 // Experiment is one regenerable table or figure.

@@ -1,0 +1,94 @@
+package lora
+
+import (
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// TestDemodWindowZeroAllocs pins the scratch-arena contract: once a
+// Demodulator is constructed, demodulating a window costs zero heap
+// allocations (dechirp, FFT, magnitudes and fold all run in the arena).
+func TestDemodWindowZeroAllocs(t *testing.T) {
+	for _, osr := range []int{1, 2} {
+		p := DefaultParams()
+		p.OSR = osr
+		d, err := NewDemodulator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewModulator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := m.ModulateSymbols([]int{37})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() { d.demodWindow(sig) }); n != 0 {
+			t.Errorf("OSR %d: demodWindow allocates %.0f times per op, want 0", osr, n)
+		}
+		if n := testing.AllocsPerRun(100, func() { d.downPeak(sig) }); n != 0 {
+			t.Errorf("OSR %d: downPeak allocates %.0f times per op, want 0", osr, n)
+		}
+	}
+}
+
+// TestFilterZeroAllocsSteadyState verifies the FIR front end reuses its
+// scratch after the first (growing) call.
+func TestFilterZeroAllocsSteadyState(t *testing.T) {
+	p := DefaultParams()
+	p.OSR = 2
+	d, err := NewDemodulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(iq.Samples, 4096)
+	d.Filter(sig) // grow the arena once
+	if n := testing.AllocsPerRun(20, func() { d.Filter(sig) }); n != 0 {
+		t.Errorf("Filter allocates %.0f times per op in steady state, want 0", n)
+	}
+}
+
+// TestDemodAlignedSymbolsAmortizedAllocs bounds the whole aligned-symbol
+// demod loop to the single output-slice allocation.
+func TestDemodAlignedSymbolsAmortizedAllocs(t *testing.T) {
+	p := DefaultParams()
+	d, err := NewDemodulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sig, err := m.ModulateSymbols(shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() { d.DemodAlignedSymbols(sig) }); n > 1 {
+		t.Errorf("DemodAlignedSymbols allocates %.0f times per call, want <= 1 (output slice)", n)
+	}
+}
+
+func BenchmarkDemodWindow(b *testing.B) {
+	p := DefaultParams()
+	d, err := NewDemodulator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewModulator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig, err := m.ModulateSymbols([]int{37})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.demodWindow(sig)
+	}
+}

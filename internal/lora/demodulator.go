@@ -11,12 +11,25 @@ import (
 // Demodulator is the Fig. 6b LoRa demodulator: 14-tap FIR low-pass, dechirp
 // by a locally generated reference (Complex Multiplier), FFT, and peak
 // detection (Symbol Detector), followed by the transport decode chain.
+//
+// A Demodulator owns a scratch arena sized to one symbol so the per-window
+// pipeline (dechirp → FFT → magnitudes → fold) runs with zero heap
+// allocations. It is therefore NOT safe for concurrent use; give each
+// goroutine its own Demodulator (construction is deterministic, so all
+// copies behave identically).
 type Demodulator struct {
 	p      Params
 	up     iq.Samples // base upchirp reference
 	down   iq.Samples // base downchirp reference
 	fir    *dsp.FIR
 	symLen int
+	plan   *dsp.FFTPlan
+
+	// Scratch arena, reused across windows.
+	de     iq.Samples // dechirped symbol, symLen
+	mags   []float64  // squared magnitudes, symLen
+	folded []float64  // folded decision bins, NumChips
+	filt   iq.Samples // FIR output, grown to the largest signal seen
 }
 
 // preambleDetectRatio is the peak-to-mean FFT power ratio above which a
@@ -61,6 +74,10 @@ func NewDemodulator(p Params) (*Demodulator, error) {
 		up:     gen.Upchirp(0),
 		down:   gen.Downchirp(),
 		symLen: gen.SymbolLen(),
+		plan:   dsp.NewFFTPlan(gen.SymbolLen()),
+		de:     make(iq.Samples, gen.SymbolLen()),
+		mags:   make([]float64, gen.SymbolLen()),
+		folded: make([]float64, p.NumChips()),
 	}
 	if p.OSR > 1 {
 		// The paper's 14-tap FIR low-pass suppresses out-of-band noise
@@ -74,21 +91,27 @@ func NewDemodulator(p Params) (*Demodulator, error) {
 func (d *Demodulator) Params() Params { return d.p }
 
 // Filter applies the front-end FIR (a no-op at OSR 1, where the signal is
-// critically sampled).
+// critically sampled). The returned buffer is the demodulator's scratch:
+// it stays valid until the next Filter/Receive call on this Demodulator.
 func (d *Demodulator) Filter(sig iq.Samples) iq.Samples {
 	if d.fir == nil {
 		return sig
 	}
-	return d.fir.Filter(sig)
+	if cap(d.filt) < len(sig) {
+		d.filt = make(iq.Samples, len(sig))
+	}
+	return d.fir.FilterInto(d.filt[:len(sig)], sig)
 }
 
 // demodWindow dechirps one symbol-length window against the upchirp
 // reference and returns the detected shift, its folded peak power, and the
-// mean folded bin power.
+// mean folded bin power. It runs entirely in the scratch arena: zero heap
+// allocations per call.
 func (d *Demodulator) demodWindow(w iq.Samples) (shift int, peak, mean float64) {
-	de := dsp.Dechirp(w, d.up)
-	dsp.FFT(de)
-	folded := dsp.FoldBins(dsp.Magnitudes(de), d.p.NumChips())
+	dsp.DechirpInto(d.de, w, d.up)
+	d.plan.Transform(d.de)
+	dsp.MagnitudesInto(d.mags, d.de)
+	folded := dsp.FoldBinsInto(d.folded, d.mags)
 	var sum float64
 	for k, p := range folded {
 		sum += p
@@ -101,10 +124,11 @@ func (d *Demodulator) demodWindow(w iq.Samples) (shift int, peak, mean float64) 
 
 // downPeak dechirps a window against the downchirp reference, returning the
 // peak power — used for SFD detection (the up/down comparison of §4.1).
+// Like demodWindow it runs in the scratch arena.
 func (d *Demodulator) downPeak(w iq.Samples) float64 {
-	de := dsp.Dechirp(w, d.down)
-	dsp.FFT(de)
-	_, p := dsp.PeakBin(de)
+	dsp.DechirpInto(d.de, w, d.down)
+	d.plan.Transform(d.de)
+	_, p := dsp.PeakBin(d.de)
 	return p
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/fpga"
 	"github.com/uwsdr/tinysdr/internal/mcu"
 	"github.com/uwsdr/tinysdr/internal/ota"
+	"github.com/uwsdr/tinysdr/internal/par"
 	"github.com/uwsdr/tinysdr/internal/power"
 	"github.com/uwsdr/tinysdr/internal/radio"
 	"github.com/uwsdr/tinysdr/internal/sim"
@@ -105,11 +107,25 @@ type ProgramResult struct {
 	Err      error
 }
 
-// ProgramAll pushes one update to every node sequentially, as the §3.4 AP
-// does, and returns per-node results. design accompanies FPGA images.
+// ProgramAll pushes one update to every node and returns per-node results
+// in node order. design accompanies FPGA images.
+//
+// Each node owns its simulated clock, PMU ledger and per-node session RNG
+// (seeded from the campus seed and the node ID), so the fleet runs
+// trial-parallel across the machine's cores with results bit-identical to
+// a sequential pass — the wall-clock time is what the §3.4 AP's sequential
+// schedule reports on each node's own clock, not the host's.
 func (c *Campus) ProgramAll(u *ota.Update, design *fpga.Design) []ProgramResult {
-	results := make([]ProgramResult, 0, len(c.Nodes))
-	for _, n := range c.Nodes {
+	return c.ProgramAllWorkers(u, design, runtime.NumCPU())
+}
+
+// ProgramAllWorkers is ProgramAll with an explicit worker-pool size
+// (minimum 1). Results are identical for every value.
+func (c *Campus) ProgramAllWorkers(u *ota.Update, design *fpga.Design, workers int) []ProgramResult {
+	// Session failures are part of a node's result, not a pool error, so
+	// the par.Do error path never triggers.
+	results, _ := par.Do(workers, len(c.Nodes), func(i int) (ProgramResult, error) {
+		n := c.Nodes[i]
 		rssi := c.RSSI(n)
 		n.PMU.Ledger().Reset()
 		sess := ota.NewSession(n.OTA, rssi, c.seed*7919+int64(n.ID))
@@ -117,11 +133,11 @@ func (c *Campus) ProgramAll(u *ota.Update, design *fpga.Design) []ProgramResult 
 		if err == nil {
 			rep.EnergyJ = n.PMU.Ledger().Energy()
 		}
-		results = append(results, ProgramResult{
+		return ProgramResult{
 			NodeID: n.ID, Distance: n.Distance(), RSSIdBm: rssi,
 			Report: rep, Err: err,
-		})
-	}
+		}, nil
+	})
 	return results
 }
 

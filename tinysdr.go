@@ -9,8 +9,10 @@
 // clock), LoRa and BLE physical layers implemented the way the tinySDR
 // FPGA implements them, a wireless channel, the OTA programming protocol,
 // and a 20-node campus testbed. Every figure and table of the paper's
-// evaluation can be regenerated from these models (see EXPERIMENTS.md and
-// cmd/tinysdr-eval).
+// evaluation can be regenerated from these models with cmd/tinysdr-eval.
+// The Monte-Carlo sweeps behind those figures run on a zero-allocation
+// DSP hot path and a deterministic trial-parallel runner; PERFORMANCE.md
+// describes both and how to benchmark them.
 //
 // # Quick start
 //
