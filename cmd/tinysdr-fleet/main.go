@@ -1,0 +1,104 @@
+// Command tinysdr-fleet is the fleet campaign control plane: it programs
+// arbitrary-size tinySDR fleets over the air, either as a one-shot CLI run
+// or as an HTTP service that schedules campaigns and serves their per-node
+// results as JSON.
+//
+// One-shot mode runs a single campaign and exits non-zero if any node
+// failed (the CI fleet smoke test relies on this):
+//
+//	tinysdr-fleet -nodes 100 -mode broadcast -image mcu -seed 1
+//	tinysdr-fleet -nodes 1000 -mode unicast -workers 8 -json
+//
+// Server mode exposes the campaign API:
+//
+//	tinysdr-fleet -serve :8080
+//	curl -X POST localhost:8080/campaigns -d '{"nodes":100,"mode":"broadcast","seed":1}'
+//	curl localhost:8080/campaigns/c1        # status + summary
+//	curl localhost:8080/campaigns/c1/nodes  # per-node results
+//
+// Campaigns are deterministic: the same spec (seed, nodes, mode, image,
+// shard size) yields bit-identical per-node results at any -workers value.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/uwsdr/tinysdr/internal/eval"
+	"github.com/uwsdr/tinysdr/internal/fleet"
+)
+
+func main() {
+	serve := flag.String("serve", "", "serve the campaign HTTP API on this address instead of running one-shot")
+	nodes := flag.Int("nodes", 100, "fleet size")
+	mode := flag.String("mode", "broadcast", "programming protocol: broadcast or unicast")
+	image := flag.String("image", "mcu", "firmware image: lora, ble, or mcu")
+	imageKB := flag.Int("image-kb", 0, "MCU image size in kB (0 = the paper's 78 kB)")
+	shard := flag.Int("shard", 0, "nodes per AP cell (0 = the paper's 20-node campus)")
+	seed := flag.Int64("seed", 1, "campaign seed (geometry, channels, losses)")
+	workers := flag.Int("workers", 0, "host worker pool (0 = all CPUs); results identical for any value")
+	jsonOut := flag.Bool("json", false, "emit the full campaign result as JSON")
+	flag.Parse()
+
+	if *serve != "" {
+		srv := fleet.NewServer()
+		fmt.Fprintf(os.Stderr, "tinysdr-fleet: serving campaign API on %s\n", *serve)
+		if err := http.ListenAndServe(*serve, srv.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec := fleet.Spec{
+		Seed:      *seed,
+		Nodes:     *nodes,
+		ShardSize: *shard,
+		Mode:      fleet.Mode(*mode),
+		Image:     *image,
+		ImageKB:   *imageKB,
+		Workers:   *workers,
+	}
+	res, err := fleet.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		printSummary(res)
+	}
+	if res.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "tinysdr-fleet: %d/%d nodes failed\n", res.Failed, len(res.Nodes))
+		os.Exit(1)
+	}
+}
+
+func printSummary(res *fleet.Result) {
+	rows := [][]string{
+		{"mode", string(res.Spec.Mode)},
+		{"image", res.Spec.Image},
+		{"nodes", fmt.Sprintf("%d in %d cells of %d", len(res.Nodes), res.Shards, res.Spec.ShardSize)},
+		{"fleet time", fmt.Sprintf("%.1f s", res.FleetTime.Seconds())},
+		{"air bytes", fmt.Sprintf("%d", res.AirBytes)},
+		{"data packets", fmt.Sprintf("%d", res.DataPackets)},
+		{"failed", fmt.Sprintf("%d", res.Failed)},
+	}
+	fmt.Print(eval.RenderTable([]string{"Campaign", ""}, rows))
+	for _, n := range res.Nodes {
+		if n.Err != "" {
+			fmt.Printf("node %d (shard %d, %.0f m, %.1f dBm): %s\n",
+				n.ID, n.Shard, n.DistanceM, n.RSSIdBm, n.Err)
+		}
+	}
+}

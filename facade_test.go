@@ -100,6 +100,27 @@ func TestFacadeBroadcastOTA(t *testing.T) {
 	}
 }
 
+func TestFacadeFleetCampaign(t *testing.T) {
+	res, err := RunFleetCampaign(FleetSpec{
+		Seed: 3, Nodes: 25, Mode: FleetBroadcast, ImageKB: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 25 || res.Shards != 2 {
+		t.Fatalf("%d nodes in %d shards", len(res.Nodes), res.Shards)
+	}
+	if res.Failed != 0 {
+		t.Errorf("%d nodes failed", res.Failed)
+	}
+	if srv := NewFleetServer(); srv == nil {
+		t.Fatal("no fleet server")
+	}
+	if tb := NewTestbedN(3, 7); len(tb.Nodes) != 7 {
+		t.Error("NewTestbedN size mismatch")
+	}
+}
+
 func TestFacadeDeviceRecording(t *testing.T) {
 	d := New(Config{ID: 1})
 	d.AttachSDCard(1 << 20)

@@ -49,6 +49,9 @@ func AblationBroadcast(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n := brep.Failed(); n > 0 {
+		return nil, fmt.Errorf("broadcast: %d nodes unprogrammed", n)
+	}
 
 	speedup := sequential.Seconds() / brep.FleetTime.Seconds()
 	rows := [][]string{

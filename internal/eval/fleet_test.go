@@ -1,0 +1,24 @@
+package eval
+
+import "testing"
+
+func TestFleetScaleSweep(t *testing.T) {
+	r := runExp(t, "fleetscale")
+	// The §7 claim at its smallest scale: broadcast beats N sequential
+	// unicast transfers already at the paper's 20-node fleet.
+	if b, u := r.Metrics["broadcast_s_20"], r.Metrics["unicast_s_20"]; b <= 0 || b >= u {
+		t.Errorf("N=20: broadcast %.0f s vs unicast %.0f s", b, u)
+	}
+	if got := r.Metrics["speedup_x_20"]; got < 8 || got > 30 {
+		t.Errorf("N=20 speedup = %.1fx, want 8-30x", got)
+	}
+	// The gap must widen with the fleet: one shared transfer amortizes
+	// across more nodes.
+	if r.Metrics["speedup_x_100"] <= r.Metrics["speedup_x_20"] {
+		t.Error("speedup does not grow with fleet size")
+	}
+	// Air cost: unicast retransmits the image N times.
+	if got := r.Metrics["air_ratio_x_100"]; got < 50 {
+		t.Errorf("N=100 air ratio = %.1fx, want ~100x", got)
+	}
+}

@@ -185,6 +185,7 @@ func All() []Experiment {
 		{"otaenergy", "§5.3: OTA update energy and battery budget", OTAEnergy},
 		{"concurrentres", "§6: concurrent demodulation resources and power", ConcurrentResources},
 		{"ablation-broadcast", "ablation: sequential vs broadcast fleet programming (§7)", AblationBroadcast},
+		{"fleetscale", "fleet-scale campaigns: broadcast vs unicast across N (§7 at scale)", FleetScale},
 		{"ablation-packet", "ablation: OTA packet-size trade-off (§5.3 design point)", AblationPacketSize},
 		{"ablation-compression", "ablation: miniLZO vs raw OTA transfer (§3.4)", AblationCompression},
 		{"ablation-blocksize", "ablation: compression block size vs MCU SRAM (§3.4)", AblationBlockSize},

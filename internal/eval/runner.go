@@ -1,8 +1,6 @@
 package eval
 
 import (
-	"runtime"
-
 	"github.com/uwsdr/tinysdr/internal/par"
 )
 
@@ -26,10 +24,7 @@ func TrialSeed(seed int64, trial int) int64 {
 
 // resolveWorkers maps a Config.Workers value to a concrete pool size.
 func resolveWorkers(workers int) int {
-	if workers > 0 {
-		return workers
-	}
-	return runtime.NumCPU()
+	return par.ResolveWorkers(workers)
 }
 
 // runTrials executes fn for trials 0..n-1 across the configured worker

@@ -38,18 +38,31 @@ const (
 	ReadPowerW = 10e-3
 )
 
-// Flash is one MX25R6435F device.
+// Flash is one MX25R6435F device. Storage is sector-sparse: a sector with
+// no entry in the map is in the erased state (all 0xFF), so a fleet of
+// thousands of simulated nodes costs memory proportional to the bytes each
+// node actually stages, not 8 MB per chip.
 type Flash struct {
-	data []byte
+	sectors map[int][]byte
 }
 
 // New returns a flash chip in the erased state (all 0xFF), as shipped.
 func New() *Flash {
-	f := &Flash{data: make([]byte, Size)}
-	for i := range f.data {
-		f.data[i] = 0xFF
+	return &Flash{sectors: make(map[int][]byte)}
+}
+
+// sector returns the backing storage for one sector, materializing it in
+// the erased state on first touch.
+func (f *Flash) sector(idx int) []byte {
+	s, ok := f.sectors[idx]
+	if !ok {
+		s = make([]byte, SectorSize)
+		for i := range s {
+			s[i] = 0xFF
+		}
+		f.sectors[idx] = s
 	}
-	return f
+	return s
 }
 
 func (f *Flash) bounds(addr, n int) error {
@@ -75,8 +88,9 @@ func (f *Flash) Erase(addr, n int) error {
 	if end > Size {
 		end = Size
 	}
-	for i := addr; i < end; i++ {
-		f.data[i] = 0xFF
+	// Erased sectors revert to the sparse representation.
+	for idx := addr / SectorSize; idx < end/SectorSize; idx++ {
+		delete(f.sectors, idx)
 	}
 	return nil
 }
@@ -88,14 +102,28 @@ func (f *Flash) Program(addr int, data []byte) error {
 	if err := f.bounds(addr, len(data)); err != nil {
 		return err
 	}
-	for i, b := range data {
-		cur := f.data[addr+i]
-		if cur&b != b {
-			return fmt.Errorf("flash: program at %#x requires erase (stored %#02x, want %#02x)", addr+i, cur, b)
+	// Validate the whole write against NOR semantics before mutating, so a
+	// rejected program leaves the device untouched.
+	err := forSpans(addr, len(data), func(idx, in, off, span int) error {
+		s, ok := f.sectors[idx]
+		if !ok {
+			return nil // erased sector accepts anything
 		}
-		f.data[addr+i] = b
+		for i := 0; i < span; i++ {
+			if cur, b := s[in+i], data[off+i]; cur&b != b {
+				return fmt.Errorf("flash: program at %#x requires erase (stored %#02x, want %#02x)",
+					addr+off+i, cur, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	return nil
+	return forSpans(addr, len(data), func(idx, in, off, span int) error {
+		copy(f.sector(idx)[in:in+span], data[off:off+span])
+		return nil
+	})
 }
 
 // Read copies n bytes starting at addr.
@@ -104,8 +132,37 @@ func (f *Flash) Read(addr, n int) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, n)
-	copy(out, f.data[addr:addr+n])
+	_ = forSpans(addr, n, func(idx, in, off, span int) error {
+		if s, ok := f.sectors[idx]; ok {
+			copy(out[off:off+span], s[in:in+span])
+		} else {
+			for i := off; i < off+span; i++ {
+				out[i] = 0xFF
+			}
+		}
+		return nil
+	})
 	return out, nil
+}
+
+// forSpans decomposes the device range [addr, addr+n) into per-sector
+// spans, calling fn with the sector index, the offset into that sector,
+// the offset into the caller's buffer, and the span length. It stops at
+// the first error.
+func forSpans(addr, n int, fn func(idx, in, off, span int) error) error {
+	for off := 0; off < n; {
+		idx := (addr + off) / SectorSize
+		in := (addr + off) % SectorSize
+		span := SectorSize - in
+		if span > n-off {
+			span = n - off
+		}
+		if err := fn(idx, in, off, span); err != nil {
+			return err
+		}
+		off += span
+	}
+	return nil
 }
 
 // ProgramTime returns how long SPI programming of n bytes takes.

@@ -104,6 +104,54 @@ func TestBounds(t *testing.T) {
 	}
 }
 
+func TestProgramReadAcrossSectors(t *testing.T) {
+	// Writes and reads spanning sector boundaries must behave exactly as a
+	// flat array, including the erased gap around the written span (the
+	// sparse backing store materializes sectors on demand).
+	f := New()
+	data := make([]byte, 3*SectorSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	addr := 5*SectorSize - 100
+	if err := f.Program(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read(addr-8, len(data)+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got[i] != 0xFF || got[len(got)-1-i] != 0xFF {
+			t.Fatal("margin around programmed span not erased")
+		}
+	}
+	if !bytes.Equal(got[8:8+len(data)], data) {
+		t.Error("cross-sector round trip mismatch")
+	}
+	// A rejected program must leave the device untouched.
+	if err := f.Program(addr, []byte{0xFF}); err == nil {
+		t.Fatal("bit-setting program accepted")
+	}
+	got2, _ := f.Read(addr, 1)
+	if got2[0] != data[0] {
+		t.Error("failed program mutated flash")
+	}
+}
+
+func TestReadFarErasedRegion(t *testing.T) {
+	f := New()
+	got, err := f.Read(Size-SectorSize, SectorSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0xFF {
+			t.Fatal("untouched high region not erased")
+		}
+	}
+}
+
 func TestBitstreamFitsWithRoomForMultiple(t *testing.T) {
 	// §3.1.2: 8 MB stores multiple 579 kB bitstreams plus MCU programs.
 	const bitstream = 579 * 1024

@@ -1,0 +1,301 @@
+// Package fleet is the campaign control plane for programming
+// arbitrary-size tinySDR fleets over the air — the step from the paper's
+// 20-node campus (§5.3) toward a testbed service that schedules firmware
+// rollouts across many deployments at once.
+//
+// A campaign shards the fleet into fixed-size cells, one access point per
+// cell (the paper's campus is one such cell), and programs the cells
+// concurrently across a deterministic worker pool. Each cell runs either
+// the §3.4 sequential-unicast sessions or the §7 broadcast+repair protocol,
+// with per-node retry and failure tracking. Every cell derives its geometry
+// and protocol randomness from (campaign seed, shard index) alone, so a
+// campaign's per-node results are bit-identical for any worker count.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/uwsdr/tinysdr/internal/fpga"
+	"github.com/uwsdr/tinysdr/internal/ota"
+	"github.com/uwsdr/tinysdr/internal/par"
+	"github.com/uwsdr/tinysdr/internal/testbed"
+)
+
+// Mode selects a campaign's programming protocol.
+type Mode string
+
+// Campaign protocols.
+const (
+	// ModeUnicast programs each cell's nodes one at a time with the §3.4
+	// acknowledged sessions; a cell's time is the sum of its sessions.
+	ModeUnicast Mode = "unicast"
+	// ModeBroadcast programs each cell with the §7 broadcast MAC: every
+	// chunk once to BroadcastAddr, then per-node unicast repair.
+	ModeBroadcast Mode = "broadcast"
+)
+
+// Image kinds a campaign can distribute (the §5.3 firmware set).
+const (
+	ImageLoRa = "lora" // LoRa modem FPGA bitstream
+	ImageBLE  = "ble"  // BLE beacon FPGA bitstream
+	ImageMCU  = "mcu"  // MCU firmware
+)
+
+// DefaultImageKB is the §5.3 MCU firmware size.
+const DefaultImageKB = 78
+
+// MaxImageKB bounds a campaign's MCU image: nothing larger fits a node's
+// firmware flash region.
+const MaxImageKB = ota.RegionSize / 1024
+
+// Spec describes one campaign. The zero value plus Nodes is runnable:
+// defaults are a broadcast campaign shipping the 78 kB MCU image in
+// campus-sized cells.
+type Spec struct {
+	// Name labels the campaign in listings.
+	Name string `json:"name,omitempty"`
+	// Seed drives all campaign randomness (geometry, channels, losses).
+	Seed int64 `json:"seed"`
+	// Nodes is the fleet size.
+	Nodes int `json:"nodes"`
+	// ShardSize is the nodes per AP cell; 0 means the paper's 20-node
+	// campus. The partition is fixed by the spec, never by the pool size.
+	ShardSize int `json:"shard_size,omitempty"`
+	// Mode is the programming protocol; empty means ModeBroadcast.
+	Mode Mode `json:"mode,omitempty"`
+	// Image is the firmware kind; empty means ImageMCU.
+	Image string `json:"image,omitempty"`
+	// ImageKB sizes the MCU image; 0 means DefaultImageKB. FPGA images
+	// are always full bitstreams.
+	ImageKB int `json:"image_kb,omitempty"`
+	// Workers bounds the host worker pool; 0 means all CPUs. Results are
+	// bit-identical for every value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalize fills defaults and validates, returning the runnable spec.
+func (s Spec) normalize() (Spec, error) {
+	if s.Nodes < 1 {
+		return s, fmt.Errorf("fleet: campaign needs at least one node (got %d)", s.Nodes)
+	}
+	if s.Nodes > 65000 {
+		return s, fmt.Errorf("fleet: %d nodes exceeds the 65000-node address space", s.Nodes)
+	}
+	if s.ShardSize == 0 {
+		s.ShardSize = testbed.DefaultNodeCount
+	}
+	if s.ShardSize < 1 {
+		return s, fmt.Errorf("fleet: shard size %d", s.ShardSize)
+	}
+	if s.Mode == "" {
+		s.Mode = ModeBroadcast
+	}
+	if s.Mode != ModeUnicast && s.Mode != ModeBroadcast {
+		return s, fmt.Errorf("fleet: unknown mode %q", s.Mode)
+	}
+	if s.Image == "" {
+		s.Image = ImageMCU
+	}
+	if s.Image != ImageLoRa && s.Image != ImageBLE && s.Image != ImageMCU {
+		return s, fmt.Errorf("fleet: unknown image %q", s.Image)
+	}
+	if s.ImageKB == 0 {
+		s.ImageKB = DefaultImageKB
+	}
+	// The flash staging region bounds any shippable image; rejecting here
+	// keeps an API caller from making the scheduler synthesize huge (or,
+	// via overflow, negative-length) images.
+	if s.ImageKB < 1 || s.ImageKB > MaxImageKB {
+		return s, fmt.Errorf("fleet: image size %d kB outside [1, %d]", s.ImageKB, MaxImageKB)
+	}
+	return s, nil
+}
+
+// buildImage synthesizes the campaign's firmware.
+func buildImage(s Spec) (img []byte, target ota.Target, design *fpga.Design) {
+	switch s.Image {
+	case ImageLoRa:
+		design = fpga.LoRaTRXDesign(8)
+		return fpga.SynthBitstream(design), ota.TargetFPGA, design
+	case ImageBLE:
+		design = fpga.BLEBeaconDesign()
+		return fpga.SynthBitstream(design), ota.TargetFPGA, design
+	default:
+		return fpga.SynthMCUFirmware(s.ImageKB*1024, s.Seed), ota.TargetMCU, nil
+	}
+}
+
+// NodeResult is one node's campaign outcome.
+type NodeResult struct {
+	// ID is the node's global 1-based index across the fleet.
+	ID int `json:"id"`
+	// Shard is the node's cell.
+	Shard int `json:"shard"`
+	// DeviceID is the node's OTA address within its cell.
+	DeviceID uint16 `json:"device_id"`
+	// DistanceM is the node's range from its cell's AP.
+	DistanceM float64 `json:"distance_m"`
+	// RSSIdBm is the downlink received power.
+	RSSIdBm float64 `json:"rssi_dbm"`
+	// Duration is the node's own programming time (nanoseconds in JSON).
+	Duration time.Duration `json:"duration_ns"`
+	// EnergyJ is the node-side energy spent on the update.
+	EnergyJ float64 `json:"energy_j"`
+	// Retries counts unicast retransmissions or broadcast repair
+	// transmissions spent on this node.
+	Retries int `json:"retries"`
+	// Err is the node's failure, empty on success.
+	Err string `json:"error,omitempty"`
+}
+
+// Result is a completed campaign.
+type Result struct {
+	// Spec is the normalized campaign spec that ran.
+	Spec Spec `json:"spec"`
+	// Shards is the number of AP cells.
+	Shards int `json:"shards"`
+	// FleetTime is the campaign wall time: cells program concurrently, so
+	// it is the slowest cell's time (nanoseconds in JSON).
+	FleetTime time.Duration `json:"fleet_time_ns"`
+	// AirBytes is the total AP-transmitted data bytes across all cells.
+	AirBytes int `json:"air_bytes"`
+	// DataPackets counts data transmissions (broadcast chunks, repairs,
+	// and unicast data frames) across all cells.
+	DataPackets int `json:"data_packets"`
+	// Failed is the number of nodes that could not be programmed.
+	Failed int `json:"failed"`
+	// Nodes holds every node's outcome in global ID order.
+	Nodes []NodeResult `json:"nodes"`
+}
+
+// shardResult is one cell's contribution.
+type shardResult struct {
+	nodes   []NodeResult
+	elapsed time.Duration
+	air     int
+	packets int
+}
+
+// Run executes a campaign synchronously and returns the per-node results.
+// The shard partition and every seed derive from the spec alone, and shards
+// fan out across the par pool with positional results, so the outcome is
+// bit-identical for any Workers value.
+func Run(spec Spec) (*Result, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	img, target, design := buildImage(spec)
+	u, err := ota.BuildUpdate(target, img)
+	if err != nil {
+		return nil, err
+	}
+
+	shards := (spec.Nodes + spec.ShardSize - 1) / spec.ShardSize
+	// With a single cell the pool has nothing to fan over, so the cell's
+	// unicast sessions use it instead; per-node results are independent of
+	// pool sizing either way (see internal/par).
+	innerWorkers := 1
+	if shards == 1 {
+		innerWorkers = par.ResolveWorkers(spec.Workers)
+	}
+	outs, err := par.Do(par.ResolveWorkers(spec.Workers), shards, func(s int) (shardResult, error) {
+		size := spec.ShardSize
+		if s == shards-1 {
+			size = spec.Nodes - s*spec.ShardSize
+		}
+		return runShard(spec, u, design, s, size, innerWorkers)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: spec, Shards: shards}
+	for _, out := range outs {
+		if out.elapsed > res.FleetTime {
+			res.FleetTime = out.elapsed
+		}
+		res.AirBytes += out.air
+		res.DataPackets += out.packets
+		res.Nodes = append(res.Nodes, out.nodes...)
+	}
+	for _, n := range res.Nodes {
+		if n.Err != "" {
+			res.Failed++
+		}
+	}
+	return res, nil
+}
+
+// shardSeeds derives a cell's geometry and protocol seeds. Two SplitMix64
+// streams per shard keep the channel realization and the loss draws
+// decorrelated from each other and from every other cell.
+func shardSeeds(seed int64, shard int) (campusSeed, protoSeed int64) {
+	return par.SplitSeed(seed, int64(2*shard)), par.SplitSeed(seed, int64(2*shard+1))
+}
+
+// runShard programs one AP cell. workers sizes the host pool for the cell's
+// unicast sessions (simulated time is unaffected: the AP's schedule is
+// sequential on each node's own clock either way).
+func runShard(spec Spec, u *ota.Update, design *fpga.Design, shard, size, workers int) (shardResult, error) {
+	campusSeed, protoSeed := shardSeeds(spec.Seed, shard)
+	campus := testbed.NewCampusN(campusSeed, size)
+	base := shard * spec.ShardSize
+	var out shardResult
+
+	switch spec.Mode {
+	case ModeUnicast:
+		// The cell's AP programs its nodes one after another, so the cell
+		// time is the sum of the per-node sessions (failures included —
+		// the AP spent that air time before giving up).
+		results := campus.ProgramAllWorkers(u, design, workers)
+		for i, r := range results {
+			node := campus.Nodes[i]
+			nr := NodeResult{
+				ID: base + i + 1, Shard: shard, DeviceID: r.NodeID,
+				DistanceM: r.Distance, RSSIdBm: r.RSSIdBm,
+				Duration: node.Clock.Now(),
+				EnergyJ:  node.PMU.Ledger().Energy(),
+			}
+			if r.Err != nil {
+				nr.Err = r.Err.Error()
+			} else {
+				nr.Retries = r.Report.Retransmissions
+				out.air += r.Report.AirBytes
+				out.packets += r.Report.DataPackets + r.Report.Retransmissions
+			}
+			out.elapsed += nr.Duration
+			out.nodes = append(out.nodes, nr)
+		}
+
+	case ModeBroadcast:
+		targets := make([]ota.BroadcastTarget, len(campus.Nodes))
+		for i, n := range campus.Nodes {
+			n.PMU.Ledger().Reset()
+			targets[i] = ota.BroadcastTarget{Node: n.OTA, RSSIdBm: campus.RSSI(n)}
+		}
+		sess := ota.NewBroadcastSession(targets, protoSeed)
+		rep, err := sess.ProgramFleet(u, design)
+		if err != nil {
+			return out, fmt.Errorf("fleet: shard %d: %w", shard, err)
+		}
+		out.elapsed = rep.FleetTime
+		out.air = rep.AirBytes
+		out.packets = rep.BroadcastPackets + rep.RepairPackets
+		for i, p := range rep.PerNode {
+			node := campus.Nodes[i]
+			nr := NodeResult{
+				ID: base + i + 1, Shard: shard, DeviceID: p.NodeID,
+				DistanceM: node.Distance(), RSSIdBm: targets[i].RSSIdBm,
+				Duration: p.Duration, EnergyJ: node.PMU.Ledger().Energy(),
+				Retries: p.Repairs,
+			}
+			if p.Err != nil {
+				nr.Err = p.Err.Error()
+			}
+			out.nodes = append(out.nodes, nr)
+		}
+	}
+	return out, nil
+}

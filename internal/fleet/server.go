@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Status is a campaign's lifecycle state.
+type Status string
+
+// Campaign states.
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Campaign is one scheduled fleet rollout.
+type Campaign struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	Status Status `json:"status"`
+	// Error holds the campaign-level failure for StatusFailed (per-node
+	// failures live in Result.Nodes and leave the campaign StatusDone).
+	Error string `json:"error,omitempty"`
+	// Result is set once the campaign reaches StatusDone.
+	Result *Result `json:"result,omitempty"`
+}
+
+// MaxCampaigns bounds the campaigns a server retains; creation is rejected
+// beyond it. Every completed campaign keeps its per-node results in memory,
+// so the cap is the server's memory backstop.
+const MaxCampaigns = 1000
+
+// Server schedules campaigns and serves their state over a JSON API. The
+// zero value is not usable; call NewServer.
+type Server struct {
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	done      map[string]chan struct{}
+	nextID    int
+	// runSlot serializes campaign execution: each campaign already fans
+	// out across the whole worker pool, so queued campaigns wait in
+	// StatusPending instead of oversubscribing the host.
+	runSlot chan struct{}
+}
+
+// NewServer returns an empty campaign scheduler.
+func NewServer() *Server {
+	return &Server{
+		campaigns: make(map[string]*Campaign),
+		done:      make(map[string]chan struct{}),
+		runSlot:   make(chan struct{}, 1),
+	}
+}
+
+// snapshot copies a campaign's current state (Result is immutable once
+// published, so a shallow copy is safe to hand out).
+func (c *Campaign) snapshot() *Campaign {
+	cp := *c
+	return &cp
+}
+
+// summary is the snapshot with per-node results stripped — listings and
+// status polls stay small even for thousand-node campaigns.
+func (c *Campaign) summary() *Campaign {
+	cp := *c
+	if cp.Result != nil {
+		r := *cp.Result
+		r.Nodes = nil
+		cp.Result = &r
+	}
+	return &cp
+}
+
+// Create validates the spec, registers a campaign, and starts it on a
+// background goroutine. The returned snapshot is StatusPending or later.
+func (s *Server) Create(spec Spec) (*Campaign, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if len(s.campaigns) >= MaxCampaigns {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: server at its %d-campaign capacity", MaxCampaigns)
+	}
+	s.nextID++
+	c := &Campaign{ID: fmt.Sprintf("c%d", s.nextID), Spec: norm, Status: StatusPending}
+	ch := make(chan struct{})
+	s.campaigns[c.ID] = c
+	s.done[c.ID] = ch
+	snap := c.snapshot()
+	s.mu.Unlock()
+
+	go func() {
+		s.runSlot <- struct{}{}
+		defer func() { <-s.runSlot }()
+		s.mu.Lock()
+		c.Status = StatusRunning
+		s.mu.Unlock()
+		res, err := Run(norm)
+		s.mu.Lock()
+		if err != nil {
+			c.Status = StatusFailed
+			c.Error = err.Error()
+		} else {
+			c.Status = StatusDone
+			c.Result = res
+		}
+		s.mu.Unlock()
+		close(ch)
+	}()
+	return snap, nil
+}
+
+// Get returns a campaign's current snapshot.
+func (s *Server) Get(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	if !ok {
+		return nil, false
+	}
+	return c.snapshot(), true
+}
+
+// Wait blocks until the campaign reaches a terminal state and returns it.
+func (s *Server) Wait(id string) (*Campaign, error) {
+	s.mu.Lock()
+	ch, ok := s.done[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown campaign %q", id)
+	}
+	<-ch
+	c, _ := s.Get(id)
+	return c, nil
+}
+
+// List returns summaries of every campaign in creation order.
+func (s *Server) List() []*Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		out = append(out, c.summary())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return len(out[i].ID) < len(out[j].ID) ||
+			(len(out[i].ID) == len(out[j].ID) && out[i].ID < out[j].ID)
+	})
+	return out
+}
+
+// Handler returns the JSON API:
+//
+//	POST /campaigns        create a campaign from a Spec body
+//	GET  /campaigns        list campaign summaries
+//	GET  /campaigns/{id}   one campaign's status and summary
+//	GET  /campaigns/{id}/nodes  the per-node results (once done)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad spec: %w", err))
+			return
+		}
+		c, err := s.Create(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, c)
+	})
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown campaign %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, c.summary())
+	})
+	mux.HandleFunc("GET /campaigns/{id}/nodes", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown campaign %q", r.PathValue("id")))
+			return
+		}
+		if c.Result == nil {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("fleet: campaign %q is %s; per-node results need status %s", c.ID, c.Status, StatusDone))
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Result.Nodes)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postCampaign(t *testing.T, ts *httptest.Server, spec Spec) Campaign {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	var c Campaign
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// runCampaignOverHTTP drives a campaign through the JSON API end to end and
+// returns the raw per-node results payload.
+func runCampaignOverHTTP(t *testing.T, srv *Server, spec Spec) []byte {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := postCampaign(t, ts, spec)
+	if c.ID == "" || (c.Status != StatusPending && c.Status != StatusRunning) {
+		t.Fatalf("created campaign %+v", c)
+	}
+	if _, err := srv.Wait(c.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var got Campaign
+	if code := getJSON(t, ts.URL+"/campaigns/"+c.ID, &got); code != http.StatusOK {
+		t.Fatalf("get: status %d", code)
+	}
+	if got.Status != StatusDone {
+		t.Fatalf("campaign %s: %s (%s)", c.ID, got.Status, got.Error)
+	}
+	if got.Result == nil || got.Result.Nodes != nil {
+		t.Fatal("status summary must include the result without per-node payload")
+	}
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + c.ID + "/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nodes: status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHTTPCampaignLifecycle(t *testing.T) {
+	spec := Spec{Seed: 7, Nodes: 100, Mode: ModeBroadcast, ImageKB: 8}
+	raw := runCampaignOverHTTP(t, NewServer(), spec)
+	var nodes []NodeResult
+	if err := json.Unmarshal(raw, &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 100 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.Err != "" {
+			t.Errorf("node %d: %s", n.ID, n.Err)
+		}
+	}
+}
+
+func TestHTTPCampaignBitIdenticalAcrossWorkers(t *testing.T) {
+	// The acceptance bar: a seeded 100-node broadcast campaign through the
+	// HTTP API yields byte-identical per-node results for 1 and 8 workers.
+	spec := Spec{Seed: 11, Nodes: 100, Mode: ModeBroadcast, ImageKB: 8}
+	spec.Workers = 1
+	one := runCampaignOverHTTP(t, NewServer(), spec)
+	spec.Workers = 8
+	eight := runCampaignOverHTTP(t, NewServer(), spec)
+	if !bytes.Equal(one, eight) {
+		t.Error("per-node results differ between 1 and 8 workers")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Invalid spec rejected.
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewReader([]byte(`{"nodes":0}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero-node spec: status %d", resp.StatusCode)
+	}
+
+	// Unknown campaign.
+	if code := getJSON(t, ts.URL+"/campaigns/c99", nil); code != http.StatusNotFound {
+		t.Errorf("unknown campaign: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/campaigns/c99/nodes", nil); code != http.StatusNotFound {
+		t.Errorf("unknown campaign nodes: status %d", code)
+	}
+}
+
+func TestHTTPList(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		c := postCampaign(t, ts, Spec{Seed: int64(i), Nodes: 4, ShardSize: 4, ImageKB: 8, Workers: 1})
+		ids = append(ids, c.ID)
+	}
+	for _, id := range ids {
+		if _, err := srv.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var list []Campaign
+	if code := getJSON(t, ts.URL+"/campaigns", &list); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(list) != 3 {
+		t.Fatalf("listed %d campaigns", len(list))
+	}
+	for i, c := range list {
+		if want := fmt.Sprintf("c%d", i+1); c.ID != want {
+			t.Errorf("list[%d] = %s, want %s", i, c.ID, want)
+		}
+		if c.Status != StatusDone {
+			t.Errorf("campaign %s status %s", c.ID, c.Status)
+		}
+		if c.Result != nil && c.Result.Nodes != nil {
+			t.Error("listing must not carry per-node payloads")
+		}
+	}
+}

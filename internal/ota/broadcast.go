@@ -61,17 +61,52 @@ func NewBroadcastSession(targets []BroadcastTarget, seed int64) *BroadcastSessio
 	}
 }
 
+// BroadcastNodeResult is one node's outcome in a fleet broadcast. Failures
+// are per node, matching testbed.ProgramResult: one unreachable node does
+// not abort the rest of the fleet.
+type BroadcastNodeResult struct {
+	NodeID uint16
+	// Repairs counts the unicast repair transmissions spent on this node.
+	Repairs int
+	// Duration is this node's own elapsed time over the session, measured
+	// on its own clock. The fleet advances in lockstep, so a failed node
+	// still observes the whole session; its Duration is the session's
+	// elapsed time at that node, not the time to its failure.
+	Duration time.Duration
+	// Stats holds the finish-phase stats for successfully programmed nodes.
+	Stats DecompressStats
+	// Err is the node's failure, nil on success.
+	Err error
+}
+
 // BroadcastReport summarizes a fleet broadcast.
 type BroadcastReport struct {
 	// FleetTime is the wall time to program the whole fleet: broadcast
 	// phase plus all repair phases plus the (concurrent) reprogramming.
+	// It is the maximum per-node elapsed time, so it is correct even when
+	// the fleet's clocks start skewed.
 	FleetTime time.Duration
 	// BroadcastPackets is the number of chunks sent in the shared phase.
 	BroadcastPackets int
 	// RepairPackets counts per-node repair transmissions.
 	RepairPackets int
-	// PerNode holds each node's finish stats.
-	PerNode []DecompressStats
+	// AirBytes is the AP-transmitted data bytes (broadcast chunks plus
+	// repairs, each counted with frame overhead) — comparable to the sum
+	// of unicast Report.AirBytes.
+	AirBytes int
+	// PerNode holds each node's outcome, in Targets order.
+	PerNode []BroadcastNodeResult
+}
+
+// Failed returns the number of nodes that could not be programmed.
+func (r *BroadcastReport) Failed() int {
+	n := 0
+	for _, p := range r.PerNode {
+		if p.Err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *BroadcastSession) lost(rssi float64, payloadLen int) bool {
@@ -89,15 +124,34 @@ func (s *BroadcastSession) advanceAll(d time.Duration) {
 
 // ProgramFleet runs the broadcast protocol end to end. design accompanies
 // FPGA updates (nil for MCU targets), as in Session.Program.
+//
+// Failures are per node: a node that errors during announce, transfer, or
+// finish — or exhausts MaxRepairRounds — is recorded in its
+// BroadcastNodeResult and the rest of the fleet keeps going, matching the
+// semantics of testbed.Campus.ProgramAll. Only protocol-building errors
+// (empty fleet, unmarshalable manifest) fail the whole session.
 func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*BroadcastReport, error) {
 	if len(s.Targets) == 0 {
 		return nil, fmt.Errorf("ota: empty fleet")
 	}
-	start := s.Targets[0].Node.Clock.Now()
-	rep := &BroadcastReport{}
+	rep := &BroadcastReport{PerNode: make([]BroadcastNodeResult, len(s.Targets))}
+	// Per-node start times make FleetTime correct even when the fleet's
+	// clocks begin skewed: every phase advances all clocks in lockstep,
+	// and the fleet time is the largest per-node elapsed time.
+	starts := make([]time.Duration, len(s.Targets))
+	for i, t := range s.Targets {
+		rep.PerNode[i].NodeID = t.Node.ID
+		starts[i] = t.Node.Clock.Now()
+	}
+	fail := func(i int, err error) {
+		if rep.PerNode[i].Err == nil {
+			rep.PerNode[i].Err = err
+		}
+	}
 
 	// Announce: per-node request/ready so every node erases staging and
-	// enters update mode. Sequential, but one exchange per node.
+	// enters update mode. Sequential, but one exchange per node. The whole
+	// fleet shares the air, so every clock advances through each exchange.
 	m := u.Manifest()
 	mb, err := m.MarshalBinary()
 	if err != nil {
@@ -105,22 +159,27 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 	}
 	reqTime := s.PHY.TimeOnAir(reqPayloadLen) + apProcessing +
 		radio.RXToTXTime + nodeProcessing + s.PHY.TimeOnAir(ackPayloadLen)
-	for _, t := range s.Targets {
+	for i, t := range s.Targets {
 		d, err := t.Node.Backbone.Transition(radio.StateRX)
 		if err != nil {
-			return nil, err
+			fail(i, err)
+		} else {
+			s.advanceAll(d)
+			t.Node.MCU.SetState(mcu.StateIdle)
+			req := &Frame{Type: FrameProgramRequest, Device: t.Node.ID, Payload: mb}
+			if _, err := t.Node.HandleProgramRequest(req); err != nil {
+				fail(i, err)
+			}
 		}
-		t.Node.Clock.Advance(d)
-		t.Node.MCU.SetState(mcu.StateIdle)
-		req := &Frame{Type: FrameProgramRequest, Device: t.Node.ID, Payload: mb}
-		if _, err := t.Node.HandleProgramRequest(req); err != nil {
-			return nil, err
-		}
+		// The AP spends the request/ready airtime whether or not the node
+		// played along — a failed exchange ends in an AP timeout, exactly
+		// as in the unicast Session.exchange.
 		s.advanceAll(reqTime)
 	}
 
-	// Broadcast phase: every chunk once, fleet-wide, no ACKs. Each node
-	// independently keeps or misses each packet.
+	// Broadcast phase: every chunk once, fleet-wide, no ACKs, addressed to
+	// BroadcastAddr so a single transmission serves every listener. Each
+	// node independently keeps or misses each packet.
 	chunkTime := s.PHY.TimeOnAir(DataPacketSize) + apProcessing
 	missing := make([]map[int]bool, len(s.Targets))
 	for i := range missing {
@@ -129,38 +188,57 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 	for seq, chunk := range u.Chunks {
 		s.advanceAll(chunkTime)
 		rep.BroadcastPackets++
+		rep.AirBytes += len(chunk) + frameOverhead
+		data := &Frame{Type: FrameData, Device: BroadcastAddr, Seq: uint16(seq), Payload: chunk}
 		for i, t := range s.Targets {
+			if rep.PerNode[i].Err != nil {
+				continue
+			}
 			if s.lost(t.RSSIdBm, len(chunk)+frameOverhead) {
 				missing[i][seq] = true
 				continue
 			}
-			data := &Frame{Type: FrameData, Device: t.Node.ID, Seq: uint16(seq), Payload: chunk}
 			if _, err := t.Node.HandleData(data); err != nil {
-				return nil, err
+				fail(i, err)
 			}
 		}
 	}
 
 	// Repair phase: unicast each node's missing chunks with ACKs, in
-	// sequence order so the simulation stays deterministic.
+	// sequence order so the simulation stays deterministic. A node that
+	// exhausts its repair rounds is marked failed; the sweep moves on.
 	repairTime := chunkTime + radio.RXToTXTime + nodeProcessing + s.PHY.TimeOnAir(ackPayloadLen)
 	for i, t := range s.Targets {
+		if rep.PerNode[i].Err != nil {
+			continue
+		}
 		gaps := sortedKeys(missing[i])
 		for round := 0; len(gaps) > 0; round++ {
 			if round >= s.MaxRepairRounds {
-				return nil, fmt.Errorf("ota: node %d unreachable after %d repair rounds", t.Node.ID, round)
+				fail(i, fmt.Errorf("ota: node %d unreachable after %d repair rounds", t.Node.ID, round))
+				break
 			}
 			var still []int
 			for _, seq := range gaps {
 				s.advanceAll(repairTime)
 				rep.RepairPackets++
-				if s.lost(t.RSSIdBm, len(u.Chunks[seq])+frameOverhead) || s.lost(t.RSSIdBm, ackPayloadLen) {
+				rep.PerNode[i].Repairs++
+				rep.AirBytes += len(u.Chunks[seq]) + frameOverhead
+				if s.lost(t.RSSIdBm, len(u.Chunks[seq])+frameOverhead) {
 					still = append(still, seq)
 					continue
 				}
+				// The node has the chunk even if its ACK is lost — the AP
+				// re-sends and HandleData deduplicates, matching the
+				// unicast exchange semantics.
 				f := &Frame{Type: FrameData, Device: t.Node.ID, Seq: uint16(seq), Payload: u.Chunks[seq]}
 				if _, err := t.Node.HandleData(f); err != nil {
-					return nil, err
+					fail(i, err)
+					still = nil
+					break
+				}
+				if s.lost(t.RSSIdBm, ackPayloadLen) {
+					still = append(still, seq)
 				}
 			}
 			gaps = still
@@ -171,20 +249,24 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 	// finish phases run concurrently in the field, so each node's clock
 	// advances independently and the fleet time follows the slowest.
 	s.advanceAll(s.PHY.TimeOnAir(ackPayloadLen) + apProcessing)
-	for _, t := range s.Targets {
+	for i, t := range s.Targets {
+		if rep.PerNode[i].Err != nil {
+			rep.PerNode[i].Duration = t.Node.Clock.Now() - starts[i]
+			continue
+		}
 		stats, err := t.Node.Finish(design)
 		if err != nil {
-			return nil, err
+			fail(i, err)
+		} else {
+			rep.PerNode[i].Stats = stats
 		}
-		rep.PerNode = append(rep.PerNode, stats)
+		rep.PerNode[i].Duration = t.Node.Clock.Now() - starts[i]
 	}
 
-	var latest time.Duration
-	for _, t := range s.Targets {
-		if now := t.Node.Clock.Now(); now > latest {
-			latest = now
+	for i := range s.Targets {
+		if d := rep.PerNode[i].Duration; d > rep.FleetTime {
+			rep.FleetTime = d
 		}
 	}
-	rep.FleetTime = latest - start
 	return rep, nil
 }

@@ -1,7 +1,9 @@
 package ota
 
 import (
+	"bytes"
 	"testing"
+	"time"
 
 	"github.com/uwsdr/tinysdr/internal/fpga"
 )
@@ -38,6 +40,47 @@ func TestBroadcastDeliversExactImages(t *testing.T) {
 	}
 	if len(rep.PerNode) != 5 {
 		t.Errorf("per-node stats = %d", len(rep.PerNode))
+	}
+	for _, p := range rep.PerNode {
+		if p.Err != nil {
+			t.Errorf("node %d failed: %v", p.NodeID, p.Err)
+		}
+		if p.Duration <= 0 {
+			t.Errorf("node %d duration = %v", p.NodeID, p.Duration)
+		}
+	}
+	if rep.Failed() != 0 {
+		t.Errorf("failed = %d, want 0", rep.Failed())
+	}
+	if rep.AirBytes == 0 {
+		t.Error("no air bytes accounted")
+	}
+}
+
+func TestBroadcastDataFramesUseBroadcastAddr(t *testing.T) {
+	// A node in update mode must accept broadcast-addressed data (the §7
+	// broadcast phase has no per-node addressing) while still rejecting
+	// unicast frames for other nodes.
+	img := fpga.SynthMCUFirmware(4*1024, 11)
+	u, _ := BuildUpdate(TargetMCU, img)
+	node, _ := testNode(t, 7)
+	m := u.Manifest()
+	mb, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.HandleProgramRequest(&Frame{Type: FrameProgramRequest, Device: 7, Payload: mb}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := node.HandleData(&Frame{Type: FrameData, Device: BroadcastAddr, Seq: 0, Payload: u.Chunks[0]})
+	if err != nil {
+		t.Fatalf("broadcast-addressed data rejected: %v", err)
+	}
+	if ack.Type != FrameAck || ack.Seq != 0 {
+		t.Errorf("bad ack %v seq %d", ack.Type, ack.Seq)
+	}
+	if _, err := node.HandleData(&Frame{Type: FrameData, Device: 8, Seq: 1, Payload: u.Chunks[1]}); err == nil {
+		t.Error("unicast data for another node accepted")
 	}
 }
 
@@ -124,13 +167,89 @@ func TestBroadcastEmptyFleetRejected(t *testing.T) {
 	}
 }
 
-func TestBroadcastUnreachableNodeFails(t *testing.T) {
-	u, _ := BuildUpdate(TargetMCU, fpga.SynthMCUFirmware(4096, 2))
-	node, _ := testNode(t, 1)
-	sess := NewBroadcastSession([]BroadcastTarget{{Node: node, RSSIdBm: -140}}, 5)
+func TestBroadcastUnreachableNodeFailsAlone(t *testing.T) {
+	// One node out of repair rounds is a per-node failure, not a fleet
+	// abort: the reachable nodes must still be programmed, matching the
+	// per-node semantics of Campus.ProgramAll.
+	img := fpga.SynthMCUFirmware(4096, 2)
+	u, _ := BuildUpdate(TargetMCU, img)
+	dead, _ := testNode(t, 1)
+	alive, _ := testNode(t, 2)
+	sess := NewBroadcastSession([]BroadcastTarget{
+		{Node: dead, RSSIdBm: -140},
+		{Node: alive, RSSIdBm: -80},
+	}, 5)
 	sess.MaxRepairRounds = 3
-	if _, err := sess.ProgramFleet(u, nil); err == nil {
-		t.Error("unreachable node programmed")
+	rep, err := sess.ProgramFleet(u, nil)
+	if err != nil {
+		t.Fatalf("fleet aborted for one bad node: %v", err)
+	}
+	if rep.PerNode[0].Err == nil {
+		t.Error("unreachable node reported as programmed")
+	}
+	if rep.PerNode[1].Err != nil {
+		t.Errorf("reachable node failed: %v", rep.PerNode[1].Err)
+	}
+	if rep.Failed() != 1 {
+		t.Errorf("failed = %d, want 1", rep.Failed())
+	}
+	if err := alive.VerifyImage(img, TargetMCU); err != nil {
+		t.Errorf("surviving node image: %v", err)
+	}
+}
+
+func TestBroadcastFleetTimeWithSkewedClocks(t *testing.T) {
+	// FleetTime is each node's own elapsed time, so starting one node's
+	// clock ahead of the rest must not change the result.
+	img := fpga.SynthMCUFirmware(8*1024, 6)
+	u, _ := BuildUpdate(TargetMCU, img)
+	run := func(skew time.Duration) time.Duration {
+		targets := broadcastFleet(t, 3, -90)
+		targets[1].Node.Clock.Advance(skew)
+		sess := NewBroadcastSession(targets, 8)
+		rep, err := sess.ProgramFleet(u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.FleetTime
+	}
+	base := run(0)
+	skewed := run(3 * time.Hour)
+	if base != skewed {
+		t.Errorf("fleet time depends on starting clocks: %v vs %v", base, skewed)
+	}
+}
+
+func TestBroadcastMatchesUnicastImages(t *testing.T) {
+	// Equivalence: a broadcast session and per-node unicast sessions must
+	// stage byte-identical firmware on every node.
+	img := fpga.SynthMCUFirmware(16*1024, 9)
+	u, _ := BuildUpdate(TargetMCU, img)
+
+	const fleet = 4
+	targets := broadcastFleet(t, fleet, -100)
+	bsess := NewBroadcastSession(targets, 12)
+	if _, err := bsess.ProgramFleet(u, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < fleet; i++ {
+		un, _ := testNode(t, uint16(50+i))
+		sess := NewSession(un, -100, int64(20+i))
+		if _, err := sess.Program(u, nil); err != nil {
+			t.Fatal(err)
+		}
+		want, err := un.Flash.Read(MCURegion, len(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := targets[i].Node.Flash.Read(MCURegion, len(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("node %d: broadcast and unicast staged different images", targets[i].Node.ID)
+		}
 	}
 }
 

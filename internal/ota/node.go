@@ -21,8 +21,8 @@ const (
 	StagingRegion = 0x0A0000
 	// MCURegion holds the staged MCU firmware.
 	MCURegion = 0x740000
-	// regionSize bounds each region.
-	regionSize = 0x0A0000
+	// RegionSize bounds each firmware region.
+	RegionSize = 0x0A0000
 )
 
 // Node is the device-side OTA engine: it owns the backbone radio, writes
@@ -62,7 +62,7 @@ func (n *Node) HandleProgramRequest(f *Frame) (*Frame, error) {
 	if err := m.UnmarshalBinary(f.Payload); err != nil {
 		return nil, err
 	}
-	if m.StreamSize > regionSize {
+	if m.StreamSize > RegionSize {
 		return nil, fmt.Errorf("ota: stream of %d bytes exceeds staging region", m.StreamSize)
 	}
 	// Erase the staging region. The erase runs during the scheduled-wake
@@ -79,12 +79,14 @@ func (n *Node) HandleProgramRequest(f *Frame) (*Frame, error) {
 }
 
 // HandleData processes one data frame: sequence check, flash write, and the
-// ACK to send. Duplicate chunks are acknowledged without rewriting.
+// ACK to send. Duplicate chunks are acknowledged without rewriting. Frames
+// addressed to BroadcastAddr are accepted by every node in update mode (the
+// §7 broadcast phase); unicast frames for another node are still rejected.
 func (n *Node) HandleData(f *Frame) (*Frame, error) {
 	if !n.updateBusy {
 		return nil, fmt.Errorf("ota: data frame outside update")
 	}
-	if f.Type != FrameData || f.Device != n.ID {
+	if f.Type != FrameData || (f.Device != n.ID && f.Device != BroadcastAddr) {
 		return nil, fmt.Errorf("ota: unexpected frame %v for %d", f.Type, f.Device)
 	}
 	if int(f.Seq) >= len(n.received) {

@@ -9,9 +9,20 @@
 package par
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ResolveWorkers maps a configured pool size to a concrete one: positive
+// values pass through, anything else means all CPUs. The shared convention
+// for eval.Config.Workers and fleet.Spec.Workers.
+func ResolveWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.NumCPU()
+}
 
 // SplitSeed derives a decorrelated child seed from a parent seed and a
 // stream index using the SplitMix64 finalizer. Monte-Carlo trials that

@@ -71,11 +71,23 @@ func (l *Ledger) Power(component string) float64 {
 	return 0
 }
 
+// names returns the ledger's components in sorted order. Summing in a fixed
+// order keeps every energy and power figure bit-reproducible: float addition
+// is not associative, and Go randomizes map iteration per run.
+func (l *Ledger) names() []string {
+	out := make([]string, 0, len(l.items))
+	for name := range l.items {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TotalPower returns the current system draw in watts.
 func (l *Ledger) TotalPower() float64 {
 	var sum float64
-	for _, it := range l.items {
-		sum += it.power
+	for _, name := range l.names() {
+		sum += l.items[name].power
 	}
 	return sum
 }
@@ -93,7 +105,8 @@ func (l *Ledger) EnergyOf(component string) float64 {
 // Energy returns the total joules consumed by all components.
 func (l *Ledger) Energy() float64 {
 	var sum float64
-	for _, it := range l.items {
+	for _, name := range l.names() {
+		it := l.items[name]
 		l.sync(it)
 		sum += it.energy
 	}

@@ -52,6 +52,36 @@ func TestLedgerReset(t *testing.T) {
 	}
 }
 
+func TestLedgerSumsAreBitReproducible(t *testing.T) {
+	// Energy and TotalPower must sum components in a fixed order: float
+	// addition is not associative and Go randomizes map iteration, so an
+	// order-sensitive sum would differ in its low bits between identical
+	// runs — breaking the fleet campaigns' bit-identical contract.
+	build := func() *Ledger {
+		clock := sim.NewClock()
+		l := NewLedger(clock)
+		// Draws with no short exact binary representation expose
+		// order-dependent rounding.
+		l.SetPower("radio", 0.1)
+		l.SetPower("mcu", 0.007)
+		l.SetPower("fpga", 0.0301)
+		l.SetPower("flash", 1.3e-6)
+		l.SetPower("pa", 0.223)
+		clock.Advance(137 * time.Second)
+		return l
+	}
+	wantE, wantP := build().Energy(), build().TotalPower()
+	for i := 0; i < 50; i++ {
+		l := build()
+		if got := l.Energy(); got != wantE {
+			t.Fatalf("Energy differs between identical ledgers: %v vs %v", got, wantE)
+		}
+		if got := l.TotalPower(); got != wantP {
+			t.Fatalf("TotalPower differs between identical ledgers: %v vs %v", got, wantP)
+		}
+	}
+}
+
 func TestLedgerRejectsNegativePower(t *testing.T) {
 	defer func() {
 		if recover() == nil {

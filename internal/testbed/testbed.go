@@ -51,10 +51,24 @@ type Campus struct {
 	seed int64
 }
 
-// NewCampus builds the deterministic 20-node deployment. Node positions are
-// drawn once from the seed: distances span ~150 m to ~1.8 km across campus,
-// like the Fig. 7 map.
+// NewCampus builds the deterministic 20-node deployment of the paper's
+// Fig. 7 map.
 func NewCampus(seed int64) *Campus {
+	return NewCampusN(seed, DefaultNodeCount)
+}
+
+// NewCampusN builds a deterministic n-node deployment. Node positions are
+// drawn once from the seed: distances span ~150 m to ~1.8 km across campus
+// regardless of n, so larger fleets densify the same footprint rather than
+// stretching it. n is clamped to [1, 65000] — device addresses are uint16
+// and 0xFFFF is the OTA broadcast address.
+func NewCampusN(seed int64, n int) *Campus {
+	if n < 1 {
+		n = 1
+	}
+	if n > 65000 {
+		n = 65000
+	}
 	c := &Campus{
 		Model: channel.LogDistance{
 			FreqHz:        915e6,
@@ -66,8 +80,11 @@ func NewCampus(seed int64) *Campus {
 		seed:            seed,
 	}
 	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < DefaultNodeCount; i++ {
-		dist := 150 + 1650*float64(i)/float64(DefaultNodeCount-1)
+	for i := 0; i < n; i++ {
+		dist := 150.0
+		if n > 1 {
+			dist += 1650 * float64(i) / float64(n-1)
+		}
 		angle := rng.Float64() * 2 * math.Pi
 		node := newHardwareNode(uint16(i + 1))
 		node.X = dist * math.Cos(angle)

@@ -123,6 +123,70 @@ func TestMeansRejectAllFailed(t *testing.T) {
 	}
 }
 
+func TestAllNodesFailedPaths(t *testing.T) {
+	// Every summary must behave when no node programmed successfully: the
+	// CDF is empty (never a divide-by-zero or a phantom point) and both
+	// means report the failure instead of returning zero.
+	results := []ProgramResult{
+		{NodeID: 1, Err: errFake},
+		{NodeID: 2, Err: errFake},
+		{NodeID: 3, Err: errFake},
+	}
+	if cdf := CDF(results); len(cdf) != 0 {
+		t.Errorf("CDF over all-failed fleet has %d points, want 0", len(cdf))
+	}
+	if d, err := MeanDuration(results); err == nil || d != 0 {
+		t.Errorf("MeanDuration = (%v, %v), want error", d, err)
+	}
+	if e, err := MeanEnergy(results); err == nil || e != 0 {
+		t.Errorf("MeanEnergy = (%v, %v), want error", e, err)
+	}
+	// Empty result sets take the same path.
+	if cdf := CDF(nil); len(cdf) != 0 {
+		t.Error("CDF over empty results not empty")
+	}
+	if _, err := MeanDuration(nil); err == nil {
+		t.Error("MeanDuration over empty results accepted")
+	}
+	if _, err := MeanEnergy(nil); err == nil {
+		t.Error("MeanEnergy over empty results accepted")
+	}
+}
+
+func TestNewCampusNSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 20, 137} {
+		c := NewCampusN(5, n)
+		if len(c.Nodes) != n {
+			t.Fatalf("NewCampusN(5, %d) built %d nodes", n, len(c.Nodes))
+		}
+		seen := map[uint16]bool{}
+		for _, node := range c.Nodes {
+			if seen[node.ID] {
+				t.Fatalf("duplicate node ID %d", node.ID)
+			}
+			seen[node.ID] = true
+			if d := node.Distance(); d < 100 || d > 2000 {
+				t.Fatalf("n=%d node %d at %.0f m outside campus scale", n, node.ID, d)
+			}
+		}
+	}
+	if len(NewCampusN(1, 0).Nodes) != 1 {
+		t.Error("n=0 must clamp to a single node")
+	}
+}
+
+func TestNewCampusMatchesNewCampusN(t *testing.T) {
+	a, b := NewCampus(9), NewCampusN(9, DefaultNodeCount)
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("node counts differ")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].X != b.Nodes[i].X || a.Nodes[i].Y != b.Nodes[i].Y {
+			t.Fatal("NewCampus must be NewCampusN at the default size")
+		}
+	}
+}
+
 var errFake = &fakeErr{}
 
 type fakeErr struct{}

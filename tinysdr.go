@@ -7,9 +7,11 @@
 // The package exposes the platform as a set of composable simulation
 // models: a Device (radio + FPGA + MCU + power management on a simulated
 // clock), LoRa and BLE physical layers implemented the way the tinySDR
-// FPGA implements them, a wireless channel, the OTA programming protocol,
-// and a 20-node campus testbed. Every figure and table of the paper's
-// evaluation can be regenerated from these models with cmd/tinysdr-eval.
+// FPGA implements them, a wireless channel, the OTA programming protocol
+// (unicast and §7 broadcast), a campus testbed at any fleet size, and a
+// campaign control plane that programs whole fleets (RunFleetCampaign,
+// cmd/tinysdr-fleet). Every figure and table of the paper's evaluation can
+// be regenerated from these models with cmd/tinysdr-eval.
 // The Monte-Carlo sweeps behind those figures run on a zero-allocation
 // DSP hot path and a deterministic trial-parallel runner; PERFORMANCE.md
 // describes both and how to benchmark them.
@@ -32,6 +34,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/ble"
 	"github.com/uwsdr/tinysdr/internal/channel"
 	"github.com/uwsdr/tinysdr/internal/core"
+	"github.com/uwsdr/tinysdr/internal/fleet"
 	"github.com/uwsdr/tinysdr/internal/fpga"
 	"github.com/uwsdr/tinysdr/internal/iq"
 	"github.com/uwsdr/tinysdr/internal/localize"
@@ -173,6 +176,10 @@ type TestbedResult = testbed.ProgramResult
 // NewTestbed returns the deterministic campus deployment for a seed.
 func NewTestbed(seed int64) *Testbed { return testbed.NewCampus(seed) }
 
+// NewTestbedN returns a deterministic n-node deployment — the campus
+// geometry densified to an arbitrary fleet size.
+func NewTestbedN(seed int64, n int) *Testbed { return testbed.NewCampusN(seed, n) }
+
 // TestbedCDF summarizes fleet programming durations as an empirical CDF.
 func TestbedCDF(results []TestbedResult) []testbed.CDFPoint { return testbed.CDF(results) }
 
@@ -264,3 +271,31 @@ type BroadcastTarget = ota.BroadcastTarget
 func NewBroadcastOTASession(targets []BroadcastTarget, seed int64) *BroadcastOTASession {
 	return ota.NewBroadcastSession(targets, seed)
 }
+
+// FleetSpec describes one fleet programming campaign: size, protocol
+// (unicast or broadcast), firmware image, cell partition and seed.
+type FleetSpec = fleet.Spec
+
+// FleetResult is a completed campaign with per-node outcomes.
+type FleetResult = fleet.Result
+
+// FleetNodeResult is one node's campaign outcome.
+type FleetNodeResult = fleet.NodeResult
+
+// Campaign protocols.
+const (
+	FleetUnicast   = fleet.ModeUnicast
+	FleetBroadcast = fleet.ModeBroadcast
+)
+
+// RunFleetCampaign programs an arbitrary-size fleet, sharding it into AP
+// cells across a deterministic worker pool. Per-node results are
+// bit-identical for any FleetSpec.Workers value.
+func RunFleetCampaign(spec FleetSpec) (*FleetResult, error) { return fleet.Run(spec) }
+
+// FleetServer schedules campaigns and serves their state over a JSON HTTP
+// API (see cmd/tinysdr-fleet).
+type FleetServer = fleet.Server
+
+// NewFleetServer returns an empty campaign scheduler.
+func NewFleetServer() *FleetServer { return fleet.NewServer() }
