@@ -9,7 +9,10 @@ package tinysdr
 import (
 	"testing"
 
+	"github.com/uwsdr/tinysdr/internal/channel"
 	"github.com/uwsdr/tinysdr/internal/eval"
+	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/lora"
 )
 
 func benchExperiment(b *testing.B, id string, metrics ...string) {
@@ -191,4 +194,59 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 // research question on the campus testbed.
 func BenchmarkAblationRateAdaptation(b *testing.B) {
 	benchExperiment(b, "ablation-adr", "adr_mJ")
+}
+
+// BenchmarkCoexistenceSweep regenerates the composed-scenario coexistence
+// experiment (PER vs live LoRa/BLE interferer power and carrier offset).
+func BenchmarkCoexistenceSweep(b *testing.B) {
+	benchExperiment(b, "coexistence", "coex_lora_knee_dBm", "coex_ble_knee_dBm")
+}
+
+// BenchmarkMobilitySweep regenerates the mobility experiment: the PER
+// cliff where Doppler crosses half a chirp bin (≈80 m/s at SF8/BW125).
+func BenchmarkMobilitySweep(b *testing.B) {
+	benchExperiment(b, "mobility", "mob_knee_mps", "mob_per_static")
+}
+
+// BenchmarkScenarioSymbolDemod pins the composed-scenario hot path: one
+// per-trial Reset plus ApplyInto of a full fading + CFO + interferer +
+// noise chain and the aligned symbol demod, all in steady-state scratch.
+// The contract is 0 allocs/op — the scenario engine must not give back
+// what PR 1's zero-allocation DSP path bought.
+func BenchmarkScenarioSymbolDemod(b *testing.B) {
+	p := lora.DefaultParams()
+	demod, err := lora.NewDemodulator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := lora.NewModulator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shifts := []int{37, 129, 5, 201}
+	sig, err := mod.ModulateSymbols(shifts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	interf, err := mod.ModulateSymbols([]int{88, 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := channel.NewScenario(
+		channel.NewGain(-110),
+		channel.NewFlatFading(10),
+		channel.NewCFO(100, 50, 10, p.SampleRate()),
+		channel.NewInterferer("lora", interf, -120, 256),
+		channel.NewNoise(-116),
+	)
+	rx := make(iq.Samples, len(sig))
+	dst := make([]int, 0, len(shifts))
+	sc.Reset(1, 0)
+	demod.DemodAlignedSymbolsInto(dst, sc.ApplyInto(rx, sig)) // warm scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Reset(1, i)
+		demod.DemodAlignedSymbolsInto(dst, sc.ApplyInto(rx, sig))
+	}
 }

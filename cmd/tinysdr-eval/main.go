@@ -7,6 +7,8 @@
 //	tinysdr-eval -run all
 //	tinysdr-eval -run fig10,fig14 -quick -seed 7
 //	tinysdr-eval -run fig10,fig11 -bench-json   # machine-readable metrics
+//	tinysdr-eval -run coexistence,mobility      # composed-channel sweeps
+//	tinysdr-eval -run scenario -scenario "fading=rician:10,cfo=200,interferer=ble:-110"
 //
 // Monte-Carlo sweeps fan out across all CPUs by default; -workers bounds
 // the pool. Results are bit-identical for any worker count (see
@@ -39,6 +41,11 @@ func main() {
 	quick := flag.Bool("quick", false, "reduce Monte-Carlo trial counts")
 	seed := flag.Int64("seed", 1, "PRNG seed for all experiments")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs)")
+	scenarioSpec := flag.String("scenario", "",
+		"composed channel scenario for the 'scenario' experiment, e.g. "+
+			"\"fading=rician:10,cfo=200,drift=20,interferer=lora:-110\" "+
+			"(terms: fading=rayleigh[:taps]|rician:KdB[:taps], cfo/cfojitter=Hz, "+
+			"drift=ppm, interferer=lora|ble:dBm[:freqHz], speed=m/s)")
 	benchJSON := flag.Bool("bench-json", false,
 		"emit per-experiment wall time and headline metrics as JSON instead of rendered text")
 	flag.Parse()
@@ -64,7 +71,7 @@ func main() {
 		}
 	}
 
-	cfg := eval.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	cfg := eval.Config{Quick: *quick, Seed: *seed, Workers: *workers, Scenario: *scenarioSpec}
 	var bench []benchEntry
 	for _, e := range selected {
 		if !*benchJSON {

@@ -1,0 +1,59 @@
+package backscatter
+
+import (
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/channel"
+)
+
+// TestReaderUnderComposedScenario wires the backscatter receive path to
+// the composable scenario engine: the tag reflection (under the exciter's
+// DC leak) passes through flat Rician fading, a small oscillator offset
+// and receiver noise, and the reader must still slice the bits. The
+// subcarrier correlation tolerates a common complex fading gain — it
+// scales every bit energy equally — so a working link at 30 dB SNR must
+// survive almost every fading draw.
+func TestReaderUnderComposedScenario(t *testing.T) {
+	cfg := DefaultConfig()
+	bits := randomBits(48, 5)
+	tag := &Tag{Config: cfg, Reflection: 0.05}
+	reflected, err := tag.Backscatter(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Excite(cfg, len(reflected)).Scale(0.5) // exciter self-interference
+	clean.Add(reflected)
+
+	// Fading + a 200 Hz oscillator offset (tiny against the 100 kHz
+	// subcarrier) + noise well below the sideband power.
+	sc := channel.NewScenario(
+		channel.NewFlatFading(8),
+		channel.NewCFO(200, 0, 0, cfg.SampleRate),
+		channel.NewNoise(-60),
+	)
+	reader, err := NewReader(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	const trials = 10
+	for k := 0; k < trials; k++ {
+		sc.Reset(1, k)
+		got, err := reader.Demodulate(sc.Apply(clean), len(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range bits {
+			if got[i] != bits[i] {
+				errs++
+			}
+		}
+		if errs == 0 {
+			good++
+		}
+	}
+	if good < trials*7/10 {
+		t.Errorf("only %d/%d trials decoded error-free under the composed scenario", good, trials)
+	}
+}

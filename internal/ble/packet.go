@@ -46,6 +46,18 @@ type Beacon struct {
 	AdvAddress [6]byte
 	// AdvData is the manufacturer payload, at most 31 bytes.
 	AdvData []byte
+	// PublicAddress clears the header's TxAdd bit (public rather than
+	// random advertiser address). The zero value matches the header this
+	// stack has always transmitted (TxAdd set).
+	PublicAddress bool
+}
+
+// headerByte returns the PDU header the beacon transmits.
+func (b Beacon) headerByte() byte {
+	if b.PublicAddress {
+		return PDUTypeAdvNonconnInd
+	}
+	return PDUTypeAdvNonconnInd | 0x40 // TxAdd: random address
 }
 
 // PDU assembles the packet data unit: 2-byte header, address, data.
@@ -54,7 +66,7 @@ func (b Beacon) PDU() ([]byte, error) {
 		return nil, fmt.Errorf("ble: advertising data %d bytes exceeds %d", len(b.AdvData), MaxAdvData)
 	}
 	pdu := make([]byte, 0, 2+6+len(b.AdvData))
-	pdu = append(pdu, PDUTypeAdvNonconnInd|0x40) // TxAdd: random address
+	pdu = append(pdu, b.headerByte())
 	pdu = append(pdu, byte(6+len(b.AdvData)))
 	pdu = append(pdu, b.AdvAddress[:]...)
 	pdu = append(pdu, b.AdvData...)
@@ -147,10 +159,13 @@ func ParseAir(channel int, air []byte) (Beacon, error) {
 	body := append([]byte(nil), air[5:]...)
 	Whiten(channel, body)
 	hdr, length := body[0], int(body[1])
-	if hdr&0x0F != PDUTypeAdvNonconnInd {
-		return Beacon{}, fmt.Errorf("ble: unexpected PDU type %#x", hdr&0x0F)
+	// Accept non-connectable undirected advertising with either address
+	// type; reserved header bits reject the frame, so anything parsed
+	// reassembles through AirBytes to the identical wire form.
+	if hdr != PDUTypeAdvNonconnInd && hdr != PDUTypeAdvNonconnInd|0x40 {
+		return Beacon{}, fmt.Errorf("ble: unsupported PDU header %#02x", hdr)
 	}
-	if length < 6 || len(body) < 2+length+3 {
+	if length < 6 || length > 6+MaxAdvData || len(body) < 2+length+3 {
 		return Beacon{}, fmt.Errorf("ble: bad PDU length %d", length)
 	}
 	pdu := body[:2+length]
@@ -160,6 +175,7 @@ func ParseAir(channel int, air []byte) (Beacon, error) {
 		return Beacon{}, fmt.Errorf("ble: CRC mismatch %06x != %06x", gotCRC, wantCRC)
 	}
 	var b Beacon
+	b.PublicAddress = hdr&0x40 == 0
 	copy(b.AdvAddress[:], pdu[2:8])
 	b.AdvData = append([]byte(nil), pdu[8:]...)
 	return b, nil

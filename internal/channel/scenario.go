@@ -1,0 +1,78 @@
+package channel
+
+import (
+	"strings"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/par"
+)
+
+// Scenario composes stages into one reproducible link condition. The stage
+// order is the physical signal path: typically Gain or Mobility (link
+// budget), Fading, CFO, Interferer, then Noise last.
+//
+// Reset(seed, trial) derives a decorrelated substream for every stage from
+// (seed, trialIndex) alone via the same SplitMix64 splitting the eval
+// runner uses, so a sweep fanned across any number of workers reproduces
+// each trial's waveform bit for bit — the PR-1 determinism contract
+// extended to composed channels.
+//
+// A Scenario owns no sample scratch of its own but its stages do, so like
+// them it is single-goroutine: give each worker its own instance.
+type Scenario struct {
+	stages []Stage
+}
+
+// NewScenario composes the given stages in order.
+func NewScenario(stages ...Stage) *Scenario {
+	return &Scenario{stages: stages}
+}
+
+// Stages returns the composed stages in signal-path order.
+func (s *Scenario) Stages() []Stage { return s.stages }
+
+// String describes the composition, e.g.
+// "gain→fading→cfo→interferer(lora)→noise".
+func (s *Scenario) String() string {
+	if len(s.stages) == 0 {
+		return "identity"
+	}
+	names := make([]string, len(s.stages))
+	for i, st := range s.stages {
+		names[i] = st.Name()
+	}
+	return strings.Join(names, "→")
+}
+
+// Reset re-derives every stage's randomness from (seed, trial). Stage i
+// receives the substream SplitSeed(SplitSeed(seed, trial), i+1), so stages
+// never share a stream and trials never overlap.
+func (s *Scenario) Reset(seed int64, trial int) {
+	base := par.SplitSeed(seed, int64(trial))
+	for i, st := range s.stages {
+		st.Reset(par.SplitSeed(base, int64(i+1)))
+	}
+}
+
+// ApplyInto runs the composed stages over sig into dst. len(dst) must
+// equal len(sig); dst may alias sig. After each stage's scratch has grown
+// to the record size, the call performs no heap allocation.
+func (s *Scenario) ApplyInto(dst, sig iq.Samples) iq.Samples {
+	checkLen(dst, sig)
+	if len(s.stages) == 0 {
+		if !aliased(dst, sig) {
+			copy(dst, sig)
+		}
+		return dst
+	}
+	s.stages[0].ApplyInto(dst, sig)
+	for _, st := range s.stages[1:] {
+		st.ApplyInto(dst, dst)
+	}
+	return dst
+}
+
+// Apply is ApplyInto onto a fresh buffer, leaving sig untouched.
+func (s *Scenario) Apply(sig iq.Samples) iq.Samples {
+	return s.ApplyInto(make(iq.Samples, len(sig)), sig)
+}

@@ -1,0 +1,138 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// testScenario composes the canonical coexistence chain: gain → flat
+// fading → CFO → interferer → noise.
+func testScenario() *Scenario {
+	interf := tone(512, 0.2)
+	return NewScenario(
+		NewGain(-110),
+		NewFlatFading(10),
+		NewCFO(200, 50, 20, 125e3),
+		NewInterferer("lora", interf, -115, 256),
+		NewNoise(-116),
+	)
+}
+
+func TestScenarioStringAndStages(t *testing.T) {
+	s := testScenario()
+	want := "gain→fading→cfo→interferer(lora)→noise"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if len(s.Stages()) != 5 {
+		t.Errorf("Stages() = %d, want 5", len(s.Stages()))
+	}
+	if got := NewScenario().String(); got != "identity" {
+		t.Errorf("empty scenario = %q", got)
+	}
+}
+
+func TestScenarioDeterministicPerSeedAndTrial(t *testing.T) {
+	sig := tone(2048, 0.1)
+	a := testScenario()
+	b := testScenario()
+	a.Reset(42, 7)
+	b.Reset(42, 7)
+	outA := a.Apply(sig)
+	outB := b.Apply(sig)
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("two instances diverge at sample %d for identical (seed, trial)", i)
+		}
+	}
+	// Different trial indices of the same seed must decorrelate.
+	b.Reset(42, 8)
+	outC := b.Apply(sig)
+	same := 0
+	for i := range outA {
+		if outA[i] == outC[i] {
+			same++
+		}
+	}
+	if same == len(outA) {
+		t.Error("trial 7 and 8 produced identical waveforms")
+	}
+}
+
+func TestScenarioResetIsReentrant(t *testing.T) {
+	// Reset → Apply → Reset with the same pair must reproduce the output
+	// even after the stages consumed their streams.
+	s := testScenario()
+	sig := tone(2048, 0.1)
+	s.Reset(1, 3)
+	first := s.Apply(sig)
+	s.Reset(9, 9)
+	s.Apply(sig)
+	s.Reset(1, 3)
+	second := s.Apply(sig)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replayed trial diverges at sample %d", i)
+		}
+	}
+}
+
+func TestScenarioApplyIntoAliasing(t *testing.T) {
+	s := testScenario()
+	sig := tone(1024, 0.1)
+	s.Reset(5, 0)
+	separate := s.Apply(sig)
+	inPlace := sig.Clone()
+	s.Reset(5, 0)
+	s.ApplyInto(inPlace, inPlace)
+	for i := range separate {
+		if separate[i] != inPlace[i] {
+			t.Fatalf("in-place application diverges at sample %d", i)
+		}
+	}
+}
+
+func TestScenarioEmptyIsIdentity(t *testing.T) {
+	s := NewScenario()
+	sig := tone(64, 0.1)
+	out := s.Apply(sig)
+	for i := range sig {
+		if out[i] != sig[i] {
+			t.Fatal("empty scenario must be the identity")
+		}
+	}
+}
+
+// TestScenarioZeroAllocSteadyState pins the hot-path contract: once every
+// stage's scratch has grown to the record size, Reset + ApplyInto allocate
+// nothing.
+func TestScenarioZeroAllocSteadyState(t *testing.T) {
+	s := testScenario()
+	sig := tone(2048, 0.1)
+	dst := make(iq.Samples, len(sig))
+	s.Reset(1, 0)
+	s.ApplyInto(dst, sig) // warm the scratch arenas
+	trial := 0
+	if n := testing.AllocsPerRun(50, func() {
+		trial++
+		s.Reset(1, trial)
+		s.ApplyInto(dst, sig)
+	}); n != 0 {
+		t.Errorf("Reset+ApplyInto allocates %.0f times per trial, want 0", n)
+	}
+}
+
+func TestScenarioOutputPowerPlausible(t *testing.T) {
+	// Gain to -110 dBm with noise at -116: composed output power must be
+	// near the analytic sum (fading and interference perturb it, so the
+	// tolerance is loose but the order of magnitude is pinned).
+	s := NewScenario(NewGain(-110), NewNoise(-116))
+	s.Reset(3, 0)
+	out := s.Apply(tone(65536, 0.1))
+	want := iq.MilliwattsToDBm(iq.DBmToMilliwatts(-110) + iq.DBmToMilliwatts(-116))
+	if got := out.PowerDBm(); math.Abs(got-want) > 0.3 {
+		t.Errorf("composed power = %v dBm, want ≈%v", got, want)
+	}
+}

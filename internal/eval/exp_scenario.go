@@ -1,0 +1,348 @@
+package eval
+
+// The scenario-engine sweeps: coexistence (PER vs co-channel interferer
+// power and carrier offset, with the interference produced by second live
+// modulators) and mobility (PER vs endpoint speed through the campus
+// propagation field). Both run entirely on composed channel.Scenario
+// chains, so every trial's waveform is a fixed function of (seed, trial
+// index) and the curves are bit-identical at any worker count.
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/uwsdr/tinysdr/internal/channel"
+	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/radio"
+	"github.com/uwsdr/tinysdr/internal/sim/scenario"
+	"github.com/uwsdr/tinysdr/internal/testbed"
+)
+
+// coexPayload is the victim packet used by the scenario sweeps.
+var coexPayload = []byte{0xA5, 0x5A, 0x3C}
+
+// scenarioPER pushes packets copies of sig through sc (Reset per packet
+// from scenario seed and the packet index) and returns the packet error
+// rate seen by demod.
+func scenarioPER(demod *lora.Demodulator, rx iq.Samples, sig iq.Samples, sc *channel.Scenario, seed int64, packets int) float64 {
+	failures := 0
+	for k := 0; k < packets; k++ {
+		sc.Reset(seed, k)
+		pkt, err := demod.Receive(sc.ApplyInto(rx, sig))
+		if err != nil || !pkt.CRCOK || !bytes.Equal(pkt.Payload, coexPayload) {
+			failures++
+		}
+	}
+	return float64(failures) / float64(packets)
+}
+
+// coexLink is the victim configuration of the coexistence sweep: the
+// paper's SF8 case study at OSR 2, so the front-end FIR is in the loop and
+// interferer carrier offsets see a real channel filter.
+func coexLink() lora.Params {
+	p := lora.DefaultParams()
+	p.OSR = 2
+	return p
+}
+
+// perState is the worker-private state of every scenario sweep: a
+// demodulator plus receive scratch sized to the victim waveform.
+type perState struct {
+	demod *lora.Demodulator
+	rx    iq.Samples
+}
+
+func newPERState(p lora.Params, n int) func() (*perState, error) {
+	return func() (*perState, error) {
+		demod, err := lora.NewDemodulator(p)
+		if err != nil {
+			return nil, err
+		}
+		return &perState{demod: demod, rx: make(iq.Samples, n)}, nil
+	}
+}
+
+// kneeAt returns the first x whose y meets or exceeds the threshold, or
+// the last x when the curve never crosses (metrics must stay JSON-finite).
+func kneeAt(x, y []float64, threshold float64) float64 {
+	for i := range x {
+		if y[i] >= threshold {
+			return x[i]
+		}
+	}
+	return x[len(x)-1]
+}
+
+// Coexistence sweeps the victim LoRa link against live co-channel
+// interference: PER vs interferer power for a second LoRa transmitter and
+// for a BLE advertiser, plus PER vs the LoRa interferer's carrier offset —
+// the power-control and guard-band questions of §6 asked of the composed
+// scenario engine.
+func Coexistence(cfg Config) (*Result, error) {
+	packets := 60
+	if cfg.Quick {
+		packets = 16
+	}
+	p := coexLink()
+	mod, err := lora.NewModulator(p)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := mod.Modulate(coexPayload)
+	if err != nil {
+		return nil, err
+	}
+	floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
+	sens := lora.SensitivityDBm(p.SF, p.BW, radio.NoiseFigureDB)
+	rssi := sens + 8
+
+	// The interference sources are real modulator output (the same
+	// canonical waveforms the -scenario CLI injects), resampled to the
+	// victim rate once and shared read-only across workers.
+	loraWave, err := scenario.DefaultInterfererWaveform("lora", p.SampleRate())
+	if err != nil {
+		return nil, err
+	}
+	bleWave, err := scenario.DefaultInterfererWaveform("ble", p.SampleRate())
+	if err != nil {
+		return nil, err
+	}
+	waves := map[string]iq.Samples{"lora": loraWave, "ble": bleWave}
+
+	// One trial per sweep point: the trial builds its own scenario (the
+	// interferer power differs per point) and resets it per packet from
+	// (seed, point, packet) alone.
+	buildScenario := func(wave iq.Samples, kind string, powerDBm, freqOffHz float64) *channel.Scenario {
+		it := channel.NewInterferer(kind, wave, powerDBm, max(len(sig)-len(wave), 1))
+		it.FreqOffsetHz = freqOffHz
+		it.SampleRate = p.SampleRate()
+		return channel.NewScenario(
+			channel.NewGain(rssi),
+			channel.NewFlatFading(iq.FromDB(12)),
+			channel.NewCFO(0, 100, 10, p.SampleRate()),
+			it,
+			channel.NewNoise(floor),
+		)
+	}
+
+	powers := sweep(-132, -102, 3)
+	var series []Series
+	metrics := map[string]float64{}
+	for ki, kind := range []string{"lora", "ble"} {
+		wave := waves[kind]
+		pers, err := runTrials(cfg.Workers, len(powers), newPERState(p, len(sig)),
+			func(s *perState, i int) (float64, error) {
+				sc := buildScenario(wave, kind, powers[i], 0)
+				return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+int64(ki)*31, i), packets), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, Series{
+			Name: fmt.Sprintf("%s interferer (PER vs power)", kind),
+			X:    powers, Y: percent(pers)})
+		base := pers[0]
+		metrics["coex_"+kind+"_base_per"] = base
+		metrics["coex_"+kind+"_knee_dBm"] = kneeAt(powers, pers, max(2*base, base+0.1))
+		metrics["coex_"+kind+"_p50_dBm"] = kneeAt(powers, pers, 0.5)
+	}
+
+	// Carrier-offset sweep: the LoRa interferer held at a power that
+	// cripples the link co-channel, walked off the victim carrier.
+	offsets := sweep(0, 75e3, 12.5e3)
+	const offPower = -108
+	offPers, err := runTrials(cfg.Workers, len(offsets), newPERState(p, len(sig)),
+		func(s *perState, i int) (float64, error) {
+			sc := buildScenario(loraWave, "lora", offPower, offsets[i])
+			return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+977, i), packets), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	offKHz := make([]float64, len(offsets))
+	for i, o := range offsets {
+		offKHz[i] = o / 1e3
+	}
+	series = append(series, Series{
+		Name: fmt.Sprintf("lora interferer @ %d dBm (PER vs carrier offset, kHz)", int(offPower)),
+		X:    offKHz, Y: percent(offPers)})
+	metrics["coex_offset_cochannel_per"] = offPers[0]
+	metrics["coex_offset_max_per"] = offPers[len(offPers)-1]
+	metrics["coex_offset_escape_kHz"] = kneeAndBack(offKHz, offPers)
+
+	text := RenderXY(
+		fmt.Sprintf("Coexistence: SF8/BW125 victim at %.0f dBm under live interference (%s)",
+			rssi, "gain→fading→cfo→interferer→noise"),
+		"interferer power (dBm) / carrier offset (kHz)", "PER (%)", series, 64, 16)
+	text += fmt.Sprintf("\nknee: LoRa-on-LoRa %.0f dBm, BLE-on-LoRa %.0f dBm; offset sweep PER: %.0f%% co-channel, %.0f%% at %.1f kHz (14-tap front end)\n",
+		metrics["coex_lora_knee_dBm"], metrics["coex_ble_knee_dBm"],
+		metrics["coex_offset_cochannel_per"]*100, metrics["coex_offset_max_per"]*100,
+		offKHz[len(offKHz)-1])
+	return &Result{ID: "coexistence", Title: "Coexistence interference sweeps", Text: text, Metrics: metrics}, nil
+}
+
+// kneeAndBack returns the first x where the curve falls to 10% or below —
+// the offset at which the interferer has left the victim channel — or the
+// last x if it never recovers.
+func kneeAndBack(x, y []float64) float64 {
+	for i := range x {
+		if y[i] <= 0.10 {
+			return x[i]
+		}
+	}
+	return x[len(x)-1]
+}
+
+// Mobility sweeps PER against the endpoint's radial speed on the campus
+// testbed link: the scenario composes per-packet path-loss trajectories
+// (with the campus shadowing model) and the matching Doppler shift. The
+// knee lands where Doppler crosses half a chirp bin — the §7 rate-
+// adaptation question extended to moving endpoints.
+func Mobility(cfg Config) (*Result, error) {
+	packets := 40
+	if cfg.Quick {
+		packets = 12
+	}
+	p := lora.DefaultParams()
+	mod, err := lora.NewModulator(p)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := mod.Modulate(coexPayload)
+	if err != nil {
+		return nil, err
+	}
+	floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
+	campus := testbed.NewCampus(cfg.Seed)
+	node := campus.Nodes[len(campus.Nodes)/2]
+
+	speeds := sweep(0, 160, 16)
+	pers, err := runTrials(cfg.Workers, len(speeds), newPERState(p, len(sig)),
+		func(s *perState, i int) (float64, error) {
+			sc := campus.LinkScenario(node, speeds[i], p.SampleRate(), floor)
+			return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+1543, i), packets), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	binHz := p.BW / float64(p.NumChips())
+	series := []Series{{
+		Name: fmt.Sprintf("node %d at %.0f m (PER vs speed)", node.ID, node.Distance()),
+		X:    speeds, Y: percent(pers)}}
+	metrics := map[string]float64{
+		"mob_per_static":   pers[0],
+		"mob_knee_mps":     kneeAt(speeds, pers, 0.5),
+		"mob_halfbin_mps":  binHz / 2 * scenario.SpeedOfLight / campus.Model.FreqHz,
+		"mob_node_dist_m":  node.Distance(),
+		"mob_doppler_knee": scenario.DopplerHz(kneeAt(speeds, pers, 0.5), campus.Model.FreqHz),
+	}
+	text := RenderXY("Mobility: PER vs radial speed on the campus downlink (mobility→cfo→noise)",
+		"speed (m/s)", "PER (%)", series, 64, 14)
+	text += fmt.Sprintf("\nstatic PER %.0f%%; link collapses at ≈%.0f m/s — Doppler %.0f Hz vs half-bin %.0f Hz\n",
+		pers[0]*100, metrics["mob_knee_mps"], -metrics["mob_doppler_knee"], binHz/2)
+	return &Result{ID: "mobility", Title: "Mobility speed sweep", Text: text, Metrics: metrics}, nil
+}
+
+// ScenarioPER measures PER vs RSSI for an arbitrary composed scenario
+// (Config.Scenario, the CLI's -scenario flag) against the clean-AWGN
+// baseline, quantifying the composed impairments' sensitivity penalty.
+func ScenarioPER(cfg Config) (*Result, error) {
+	packets := 60
+	if cfg.Quick {
+		packets = 16
+	}
+	specStr := cfg.Scenario
+	if specStr == "" {
+		specStr = "fading=rician:10,cfo=200,drift=20"
+	}
+	spec, err := scenario.Parse(specStr)
+	if err != nil {
+		return nil, err
+	}
+	if spec.SpeedMPS != 0 || spec.Mobile {
+		// A Mobility stage replaces the Gain stage and pins the link
+		// budget to the trajectory, so an RSSI sweep would silently
+		// flatten — moving endpoints are the "mobility" experiment's job.
+		return nil, fmt.Errorf("eval: -scenario speed/mobile terms are incompatible with the RSSI sweep; use -run mobility")
+	}
+	p := lora.DefaultParams()
+	mod, err := lora.NewModulator(p)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := mod.Modulate(coexPayload)
+	if err != nil {
+		return nil, err
+	}
+	floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
+	sens := lora.SensitivityDBm(p.SF, p.BW, radio.NoiseFigureDB)
+	margins := sweep(-4, 14, 2)
+	rssis := make([]float64, len(margins))
+	for i, m := range margins {
+		rssis[i] = sens + m
+	}
+
+	curves := map[string][]float64{}
+	for ci, c := range []struct {
+		name string
+		spec string
+	}{{"scenario", specStr}, {"clean", ""}} {
+		cs, err := scenario.Parse(c.spec)
+		if err != nil {
+			return nil, err
+		}
+		// Synthesize the interference source once per curve; trials share
+		// it read-only and only rebuild the cheap stage chain.
+		var interfWave iq.Samples
+		if cs.Interferer != "" {
+			if interfWave, err = scenario.DefaultInterfererWaveform(cs.Interferer, p.SampleRate()); err != nil {
+				return nil, err
+			}
+		}
+		pers, err := runTrials(cfg.Workers, len(rssis), newPERState(p, len(sig)),
+			func(s *perState, i int) (float64, error) {
+				sc, err := cs.Build(scenario.Link{
+					SampleRate: p.SampleRate(), RSSIdBm: rssis[i], FloorDBm: floor,
+					InterfererWave: interfWave,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+int64(ci)*131, i), packets), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		curves[c.name] = pers
+	}
+
+	series := []Series{
+		{Name: "composed: " + spec.String(), X: rssis, Y: percent(curves["scenario"])},
+		{Name: "clean AWGN", X: rssis, Y: percent(curves["clean"])},
+	}
+	metrics := map[string]float64{
+		"scn_p50_dBm":   kneeBelow(rssis, curves["scenario"], 0.5),
+		"clean_p50_dBm": kneeBelow(rssis, curves["clean"], 0.5),
+	}
+	metrics["scn_penalty_dB"] = metrics["scn_p50_dBm"] - metrics["clean_p50_dBm"]
+	text := RenderXY("Composed scenario PER vs RSSI ("+spec.String()+")",
+		"RSSI (dBm)", "PER (%)", series, 64, 16)
+	text += fmt.Sprintf("\n50%%-PER point: composed %.1f dBm vs clean %.1f dBm — penalty %.1f dB\n",
+		metrics["scn_p50_dBm"], metrics["clean_p50_dBm"], metrics["scn_penalty_dB"])
+	return &Result{ID: "scenario", Title: "Composed scenario PER", Text: text, Metrics: metrics}, nil
+}
+
+// kneeBelow returns the last x (scanning upward) at which the curve is
+// still at or above the threshold — the highest RSSI that still fails —
+// or the first x when the curve starts below it.
+func kneeBelow(x, y []float64, threshold float64) float64 {
+	out := x[0]
+	for i := range x {
+		if y[i] >= threshold {
+			out = x[i]
+		}
+	}
+	return out
+}

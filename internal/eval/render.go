@@ -150,6 +150,11 @@ type Config struct {
 	// trial's randomness is a fixed function of Seed and the trial's
 	// index, never of scheduling (see runner.go).
 	Workers int
+	// Scenario is the composed-channel spec for the "scenario"
+	// experiment, in the internal/sim/scenario grammar (e.g.
+	// "fading=rician:10,cfo=200,interferer=lora:-110"). Empty selects a
+	// mild default.
+	Scenario string
 }
 
 // Experiment is one regenerable table or figure.
@@ -184,6 +189,9 @@ func All() []Experiment {
 		{"compression", "§5.3: firmware compression results", CompressionResults},
 		{"otaenergy", "§5.3: OTA update energy and battery budget", OTAEnergy},
 		{"concurrentres", "§6: concurrent demodulation resources and power", ConcurrentResources},
+		{"coexistence", "coexistence: PER vs live LoRa/BLE interferer power and carrier offset", Coexistence},
+		{"mobility", "mobility: PER vs endpoint speed on the campus downlink", Mobility},
+		{"scenario", "composed-scenario PER vs RSSI (-scenario flag)", ScenarioPER},
 		{"ablation-broadcast", "ablation: sequential vs broadcast fleet programming (§7)", AblationBroadcast},
 		{"fleetscale", "fleet-scale campaigns: broadcast vs unicast across N (§7 at scale)", FleetScale},
 		{"ablation-packet", "ablation: OTA packet-size trade-off (§5.3 design point)", AblationPacketSize},

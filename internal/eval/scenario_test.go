@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCoexistenceMetricsPlausible(t *testing.T) {
+	r := runExp(t, "coexistence")
+	// The LoRa-on-LoRa knee must sit in the neighborhood of the receiver
+	// noise floor (§6 power-control story: interference starts to matter
+	// when it rivals noise).
+	if got := r.Metrics["coex_lora_knee_dBm"]; got < -127 || got > -105 {
+		t.Errorf("LoRa-on-LoRa knee = %.0f dBm, want near the noise floor", got)
+	}
+	// Co-channel interference at -108 dBm (10 dB over the victim) must
+	// cripple the link.
+	if got := r.Metrics["coex_offset_cochannel_per"]; got < 0.5 {
+		t.Errorf("co-channel PER = %.2f, want >= 0.5", got)
+	}
+	// A short BLE beacon must hurt less than a full-length LoRa packet at
+	// the 50% level: its p50 power is higher (or never reached).
+	if r.Metrics["coex_ble_p50_dBm"] < r.Metrics["coex_lora_p50_dBm"] {
+		t.Errorf("BLE p50 %.0f dBm below LoRa p50 %.0f dBm; short bursts should hurt less",
+			r.Metrics["coex_ble_p50_dBm"], r.Metrics["coex_lora_p50_dBm"])
+	}
+}
+
+func TestMobilityKneeAtHalfBinDoppler(t *testing.T) {
+	r := runExp(t, "mobility")
+	if got := r.Metrics["mob_per_static"]; got > 0.35 {
+		t.Errorf("static PER = %.2f, want a mostly working link", got)
+	}
+	// The PER cliff must land within one sweep step of the speed whose
+	// Doppler is half a chirp bin (~80 m/s at SF8/BW125, 915 MHz).
+	knee, halfBin := r.Metrics["mob_knee_mps"], r.Metrics["mob_halfbin_mps"]
+	if math.Abs(knee-halfBin) > 20 {
+		t.Errorf("mobility knee %.0f m/s, want within 20 of the half-bin speed %.0f", knee, halfBin)
+	}
+}
+
+func TestScenarioExperimentPenalty(t *testing.T) {
+	r := runExp(t, "scenario")
+	// The composed default (Rician fading + CFO + drift) must cost
+	// sensitivity versus clean AWGN, and the clean curve must still fail
+	// below sensitivity.
+	if got := r.Metrics["scn_penalty_dB"]; got < 0 {
+		t.Errorf("scenario penalty = %.1f dB, want >= 0", got)
+	}
+}
+
+func TestScenarioExperimentRejectsBadSpec(t *testing.T) {
+	e, ok := ByID("scenario")
+	if !ok {
+		t.Fatal("scenario experiment not registered")
+	}
+	cfg := quickCfg()
+	cfg.Scenario = "fading=unobtainium"
+	if _, err := e.Run(cfg); err == nil {
+		t.Error("bad -scenario spec accepted")
+	}
+	// Mobility terms pin the link budget to a trajectory, which would
+	// silently flatten an RSSI sweep — they must be rejected here and
+	// routed to the mobility experiment instead.
+	cfg.Scenario = "speed=30"
+	if _, err := e.Run(cfg); err == nil {
+		t.Error("speed= spec accepted by the RSSI sweep")
+	}
+}
+
+// TestScenarioSweepsDeterministicAcrossWorkers is the satellite acceptance
+// test: the scenario-engine sweeps, serialized exactly as the CLI's
+// -bench-json output serializes them, must be byte-for-byte identical at 1
+// and 8 workers — PR 1's determinism guarantee extended to composed
+// channels (fading draws, CFO jitter, interferer alignment, shadowing).
+func TestScenarioSweepsDeterministicAcrossWorkers(t *testing.T) {
+	for _, id := range []string{"coexistence", "mobility", "scenario"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		var wantJSON []byte
+		var wantText string
+		for _, workers := range []int{1, 8} {
+			r, err := e.Run(Config{Quick: true, Seed: 1, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			got, err := json.Marshal(r.Metrics)
+			if err != nil {
+				t.Fatalf("%s: metrics not JSON-serializable: %v", id, err)
+			}
+			if workers == 1 {
+				wantJSON, wantText = got, r.Text
+				continue
+			}
+			if !bytes.Equal(got, wantJSON) {
+				t.Errorf("%s: metrics JSON differs between 1 and %d workers:\n  1: %s\n  %d: %s",
+					id, workers, wantJSON, workers, got)
+			}
+			if r.Text != wantText {
+				t.Errorf("%s: rendered text differs between 1 and %d workers", id, workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package iq
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Int16 I/Q serialization for golden-vector captures: each sample is one
+// little-endian int16 I code followed by one int16 Q code, quantized
+// through the same mid-tread converter model as the radio datapath
+// (QuantizeCode). The format is deliberately bit-exact and
+// platform-independent, so committed captures pin the modulators — any
+// DSP change that bends a waveform shows up as a byte diff.
+
+// EncodeInt16 serializes samples as little-endian int16 I/Q code pairs at
+// the given converter resolution and full scale.
+func EncodeInt16(s Samples, bits int, fullScale float64) []byte {
+	out := make([]byte, 0, 4*len(s))
+	for _, x := range s {
+		out = binary.LittleEndian.AppendUint16(out, uint16(int16(QuantizeCode(real(x), bits, fullScale))))
+		out = binary.LittleEndian.AppendUint16(out, uint16(int16(QuantizeCode(imag(x), bits, fullScale))))
+	}
+	return out
+}
+
+// DecodeInt16 inverts EncodeInt16.
+func DecodeInt16(data []byte, bits int, fullScale float64) (Samples, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("iq: capture of %d bytes is not int16 I/Q pairs", len(data))
+	}
+	out := make(Samples, len(data)/4)
+	for i := range out {
+		re := int16(binary.LittleEndian.Uint16(data[4*i:]))
+		im := int16(binary.LittleEndian.Uint16(data[4*i+2:]))
+		out[i] = complex(CodeToValue(int32(re), bits, fullScale), CodeToValue(int32(im), bits, fullScale))
+	}
+	return out, nil
+}

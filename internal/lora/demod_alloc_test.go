@@ -72,6 +72,36 @@ func TestDemodAlignedSymbolsAmortizedAllocs(t *testing.T) {
 	}
 }
 
+// TestDemodAlignedSymbolsIntoZeroAllocs pins the caller-scratch variant the
+// composed-scenario sweeps use: with a capacity-sized dst the whole aligned
+// demod loop is allocation-free.
+func TestDemodAlignedSymbolsIntoZeroAllocs(t *testing.T) {
+	p := DefaultParams()
+	d, err := NewDemodulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sig, err := m.ModulateSymbols(shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 0, len(shifts))
+	got := d.DemodAlignedSymbolsInto(dst, sig)
+	for i := range shifts {
+		if got[i] != shifts[i] {
+			t.Fatalf("symbol %d = %d, want %d", i, got[i], shifts[i])
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() { d.DemodAlignedSymbolsInto(dst, sig) }); n != 0 {
+		t.Errorf("DemodAlignedSymbolsInto allocates %.0f times per call, want 0", n)
+	}
+}
+
 func BenchmarkDemodWindow(b *testing.B) {
 	p := DefaultParams()
 	d, err := NewDemodulator(p)

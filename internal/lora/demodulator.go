@@ -135,14 +135,22 @@ func (d *Demodulator) downPeak(w iq.Samples) float64 {
 // DemodAlignedSymbols demodulates a stream of symbol-aligned raw chirps
 // (no framing), as the chirp-symbol-error-rate experiments do.
 func (d *Demodulator) DemodAlignedSymbols(sig iq.Samples) []int {
+	return d.DemodAlignedSymbolsInto(make([]int, 0, len(sig)/d.symLen), sig)
+}
+
+// DemodAlignedSymbolsInto is DemodAlignedSymbols writing into caller
+// scratch: dst is truncated and appended to, so a capacity-sized dst makes
+// the whole aligned demod loop allocation-free — the contract the composed
+// channel-scenario sweeps rely on.
+func (d *Demodulator) DemodAlignedSymbolsInto(dst []int, sig iq.Samples) []int {
 	sig = d.Filter(sig)
 	n := len(sig) / d.symLen
-	out := make([]int, 0, n)
+	dst = dst[:0]
 	for i := 0; i < n; i++ {
 		shift, _, _ := d.demodWindow(sig[i*d.symLen : (i+1)*d.symLen])
-		out = append(out, shift)
+		dst = append(dst, shift)
 	}
-	return out
+	return dst
 }
 
 // chipDist is the cyclic distance between two shifts in chips.

@@ -1,0 +1,367 @@
+package scenario
+
+// Scenario wiring: this file turns a compact textual spec (the CLI's
+// -scenario flag) plus a link description into a composed channel.Scenario,
+// running the real LoRa/BLE modulators to synthesize co-channel
+// interference. It lives in sim rather than channel so the channel engine
+// stays free of protocol dependencies.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/uwsdr/tinysdr/internal/ble"
+	"github.com/uwsdr/tinysdr/internal/channel"
+	"github.com/uwsdr/tinysdr/internal/dsp"
+	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/lora"
+)
+
+// SpeedOfLight is used to convert mobility speed to Doppler shift.
+const SpeedOfLight = 299792458.0
+
+// DopplerHz returns the carrier shift for a radial speed (positive speed =
+// receding = negative shift).
+func DopplerHz(speedMPS, carrierHz float64) float64 {
+	return -speedMPS / SpeedOfLight * carrierHz
+}
+
+// Resample converts sig from srcRate to dstRate by linear interpolation,
+// low-pass filtering first when decimating so out-of-band energy does not
+// alias into the destination band. It is a scenario-construction helper,
+// not a hot-path primitive.
+func Resample(sig iq.Samples, srcRate, dstRate float64) iq.Samples {
+	if len(sig) == 0 || srcRate <= 0 || dstRate <= 0 || srcRate == dstRate {
+		return sig.Clone()
+	}
+	src := sig
+	if dstRate < srcRate {
+		src = dsp.NewLowpass(63, 0.45*dstRate/srcRate).Filter(sig)
+	}
+	n := int(float64(len(sig)) * dstRate / srcRate)
+	if n < 1 {
+		n = 1
+	}
+	out := make(iq.Samples, n)
+	ratio := srcRate / dstRate
+	for i := range out {
+		pos := float64(i) * ratio
+		i0 := int(pos)
+		if i0 >= len(src)-1 {
+			out[i] = src[len(src)-1]
+			continue
+		}
+		frac := pos - float64(i0)
+		out[i] = src[i0]*complex(1-frac, 0) + src[i0+1]*complex(frac, 0)
+	}
+	return out
+}
+
+// LoRaInterfererWaveform modulates one packet from a live LoRa modulator
+// and resamples it to the victim link's rate.
+func LoRaInterfererWaveform(p lora.Params, payload []byte, dstRate float64) (iq.Samples, error) {
+	mod, err := lora.NewModulator(p)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := mod.Modulate(payload)
+	if err != nil {
+		return nil, err
+	}
+	return Resample(sig, p.SampleRate(), dstRate), nil
+}
+
+// BLEInterfererWaveform modulates one advertising beacon from a live GFSK
+// modulator and resamples it to the victim link's rate.
+func BLEInterfererWaveform(b ble.Beacon, sps, advChannel int, dstRate float64) (iq.Samples, error) {
+	mod, err := ble.NewModulator(sps)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := mod.ModulateBeacon(b, advChannel)
+	if err != nil {
+		return nil, err
+	}
+	return Resample(sig, mod.SampleRate(), dstRate), nil
+}
+
+// DefaultInterfererWaveform builds the canonical interference waveform for
+// a spec kind ("lora" or "ble") at the link rate — the single definition
+// shared by Spec.Build and the eval coexistence sweep, so the CLI's
+// -scenario interference and the committed sweep curves never diverge.
+func DefaultInterfererWaveform(kind string, dstRate float64) (iq.Samples, error) {
+	switch kind {
+	case "lora":
+		return LoRaInterfererWaveform(lora.DefaultParams(),
+			[]byte{0xC0, 0xEE, 0x57, 0xA7, 0x10, 0x4E}, dstRate)
+	case "ble":
+		return BLEInterfererWaveform(ble.Beacon{
+			AdvAddress: [6]byte{0xC0, 0xEE, 0x11, 0x57, 0xEC, 0x02},
+			AdvData:    []byte("tinysdr-coex"),
+		}, 2, 37, dstRate)
+	default:
+		return nil, fmt.Errorf("sim: unknown interferer kind %q (want lora or ble)", kind)
+	}
+}
+
+// Link describes the victim link a scenario is built for.
+type Link struct {
+	// SampleRate is the victim receiver's baseband rate.
+	SampleRate float64
+	// RSSIdBm is the mean received signal power for static links.
+	RSSIdBm float64
+	// FloorDBm is the integrated receiver noise floor.
+	FloorDBm float64
+	// CarrierHz converts mobility speed to Doppler (default 915 MHz).
+	CarrierHz float64
+	// PathModel, TxPowerDBm, TxGainDB and StartM describe the trajectory
+	// for mobile scenarios (SpeedMPS > 0 in the spec, or a moving
+	// endpoint with speed 0 standing still inside a shadowed field).
+	PathModel  channel.LogDistance
+	TxPowerDBm float64
+	TxGainDB   float64
+	StartM     float64
+	// InterfererWave, when non-nil, is a prebuilt interference waveform
+	// already at SampleRate; Build uses it instead of synthesizing
+	// DefaultInterfererWaveform, so sweeps can modulate and resample the
+	// source once and share it read-only across trials.
+	InterfererWave iq.Samples
+}
+
+// Spec is the parsed form of a -scenario string: which impairments
+// to compose, independent of any one link's rates and budgets.
+type Spec struct {
+	// FadingKind is "", "rayleigh" or "rician".
+	FadingKind string
+	// FadingKdB is the Rician K factor in dB.
+	FadingKdB float64
+	// FadingTaps / FadingSpacing / FadingDecayDB shape the delay profile;
+	// one tap means flat fading.
+	FadingTaps    int
+	FadingSpacing int
+	FadingDecayDB float64
+
+	// CFOHz, CFOJitterHz and DriftPPM configure the oscillator stage.
+	CFOHz       float64
+	CFOJitterHz float64
+	DriftPPM    float64
+
+	// Interferer is "", "lora" or "ble"; InterfererDBm its received
+	// power; InterfererFreqHz its carrier offset from the victim.
+	Interferer       string
+	InterfererDBm    float64
+	InterfererFreqHz float64
+
+	// SpeedMPS selects a mobile trajectory: Doppler on the CFO stage and
+	// per-packet path-loss ramping through Link.PathModel.
+	SpeedMPS float64
+
+	// Mobile forces the Mobility stage even at speed 0 (static endpoint
+	// in a shadowed log-distance field).
+	Mobile bool
+}
+
+// Parse parses the compact comma-separated scenario grammar:
+//
+//	fading=rayleigh[:taps] | fading=rician:KdB[:taps]
+//	cfo=HZ  cfojitter=HZ  drift=PPM
+//	interferer=KIND:DBM[:FREQHZ]   (KIND: lora | ble)
+//	speed=MPS  mobile
+//
+// e.g. "fading=rician:10,cfo=200,drift=20,interferer=lora:-110".
+func Parse(s string) (*Spec, error) {
+	spec := &Spec{FadingTaps: 1, FadingSpacing: 1, FadingDecayDB: 6}
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(part, "=")
+		args := strings.Split(val, ":")
+		num := func(i int) (float64, error) {
+			if i >= len(args) || args[i] == "" {
+				return 0, fmt.Errorf("sim: scenario term %q missing argument %d", part, i+1)
+			}
+			return strconv.ParseFloat(args[i], 64)
+		}
+		// Trailing arguments are rejected, not dropped: a user guessing
+		// at the grammar must get an error, never a silently different
+		// channel.
+		atMost := func(n int) error {
+			if len(args) > n {
+				return fmt.Errorf("sim: scenario term %q has %d arguments, at most %d allowed", part, len(args), n)
+			}
+			return nil
+		}
+		var err error
+		switch key {
+		case "fading":
+			spec.FadingKind = args[0]
+			switch args[0] {
+			case "rayleigh":
+				if err = atMost(2); err == nil && len(args) > 1 {
+					var taps float64
+					if taps, err = num(1); err == nil {
+						spec.FadingTaps = int(taps)
+					}
+				}
+			case "rician":
+				if err = atMost(3); err != nil {
+					break
+				}
+				if spec.FadingKdB, err = num(1); err == nil && len(args) > 2 {
+					var taps float64
+					if taps, err = num(2); err == nil {
+						spec.FadingTaps = int(taps)
+					}
+				}
+			default:
+				err = fmt.Errorf("sim: unknown fading kind %q", args[0])
+			}
+		case "cfo":
+			if err = atMost(1); err == nil {
+				spec.CFOHz, err = num(0)
+			}
+		case "cfojitter":
+			if err = atMost(1); err == nil {
+				spec.CFOJitterHz, err = num(0)
+			}
+		case "drift":
+			if err = atMost(1); err == nil {
+				spec.DriftPPM, err = num(0)
+			}
+		case "interferer":
+			spec.Interferer = args[0]
+			if spec.Interferer != "lora" && spec.Interferer != "ble" {
+				err = fmt.Errorf("sim: unknown interferer kind %q", args[0])
+				break
+			}
+			if err = atMost(3); err != nil {
+				break
+			}
+			if spec.InterfererDBm, err = num(1); err == nil && len(args) > 2 {
+				spec.InterfererFreqHz, err = num(2)
+			}
+		case "speed":
+			if err = atMost(1); err == nil {
+				spec.SpeedMPS, err = num(0)
+			}
+		case "mobile":
+			// A bare flag: reject values so "mobile=false" cannot
+			// silently enable it.
+			if val != "" {
+				err = fmt.Errorf("sim: mobile takes no argument")
+				break
+			}
+			spec.Mobile = true
+		default:
+			err = fmt.Errorf("sim: unknown scenario term %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: bad scenario term %q: %w", part, err)
+		}
+	}
+	return spec, nil
+}
+
+// String renders the spec back into the Parse grammar.
+func (s *Spec) String() string {
+	var parts []string
+	switch s.FadingKind {
+	case "rayleigh":
+		parts = append(parts, fmt.Sprintf("fading=rayleigh:%d", s.FadingTaps))
+	case "rician":
+		parts = append(parts, fmt.Sprintf("fading=rician:%g:%d", s.FadingKdB, s.FadingTaps))
+	}
+	if s.CFOHz != 0 {
+		parts = append(parts, fmt.Sprintf("cfo=%g", s.CFOHz))
+	}
+	if s.CFOJitterHz != 0 {
+		parts = append(parts, fmt.Sprintf("cfojitter=%g", s.CFOJitterHz))
+	}
+	if s.DriftPPM != 0 {
+		parts = append(parts, fmt.Sprintf("drift=%g", s.DriftPPM))
+	}
+	if s.Interferer != "" {
+		parts = append(parts, fmt.Sprintf("interferer=%s:%g:%g", s.Interferer, s.InterfererDBm, s.InterfererFreqHz))
+	}
+	if s.SpeedMPS != 0 {
+		parts = append(parts, fmt.Sprintf("speed=%g", s.SpeedMPS))
+	}
+	if s.Mobile {
+		parts = append(parts, "mobile")
+	}
+	if len(parts) == 0 {
+		return "clean"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Build composes the spec into a channel scenario for one link. The stage
+// order is the physical path: link budget (Gain, or Mobility for moving
+// endpoints), fading, oscillator CFO/drift (plus Doppler at speed), live
+// interference, then receiver noise.
+func (s *Spec) Build(link Link) (*channel.Scenario, error) {
+	if link.SampleRate <= 0 {
+		return nil, fmt.Errorf("sim: scenario link needs a sample rate")
+	}
+	carrier := link.CarrierHz
+	if carrier == 0 {
+		carrier = 915e6
+	}
+	var stages []channel.Stage
+
+	if s.SpeedMPS != 0 || s.Mobile {
+		model := link.PathModel
+		if model.FreqHz == 0 {
+			model = channel.LogDistance{FreqHz: carrier, Exponent: 2.9}
+		}
+		start := link.StartM
+		if start <= 0 {
+			start = 1
+		}
+		stages = append(stages, channel.NewMobility(model, link.TxPowerDBm,
+			link.TxGainDB, 0, start, s.SpeedMPS, link.SampleRate))
+	} else {
+		stages = append(stages, channel.NewGain(link.RSSIdBm))
+	}
+
+	if s.FadingKind != "" {
+		k := 0.0
+		if s.FadingKind == "rician" {
+			k = iq.FromDB(s.FadingKdB)
+		}
+		if s.FadingTaps <= 1 {
+			stages = append(stages, channel.NewFlatFading(k))
+		} else {
+			taps := channel.ExponentialTaps(s.FadingTaps, s.FadingSpacing, s.FadingDecayDB)
+			stages = append(stages, channel.NewFading(taps, k))
+		}
+	}
+
+	cfo := s.CFOHz + DopplerHz(s.SpeedMPS, carrier)
+	if cfo != 0 || s.CFOJitterHz != 0 || s.DriftPPM != 0 {
+		stages = append(stages, channel.NewCFO(cfo, s.CFOJitterHz, s.DriftPPM, link.SampleRate))
+	}
+
+	if s.Interferer != "" {
+		wave := link.InterfererWave
+		if len(wave) == 0 {
+			var err error
+			if wave, err = DefaultInterfererWaveform(s.Interferer, link.SampleRate); err != nil {
+				return nil, err
+			}
+		}
+		it := channel.NewInterferer(s.Interferer, wave, s.InterfererDBm, len(wave)/2)
+		it.FreqOffsetHz = s.InterfererFreqHz
+		it.SampleRate = link.SampleRate
+		stages = append(stages, it)
+	}
+
+	stages = append(stages, channel.NewNoise(link.FloorDBm))
+	return channel.NewScenario(stages...), nil
+}

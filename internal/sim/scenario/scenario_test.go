@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/lora"
+)
+
+func TestParseFull(t *testing.T) {
+	spec, err := Parse("fading=rician:10:3,cfo=200,cfojitter=50,drift=20,interferer=lora:-110:25000,speed=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.FadingKind != "rician" || spec.FadingKdB != 10 || spec.FadingTaps != 3 {
+		t.Errorf("fading = %+v", spec)
+	}
+	if spec.CFOHz != 200 || spec.CFOJitterHz != 50 || spec.DriftPPM != 20 {
+		t.Errorf("oscillator = %+v", spec)
+	}
+	if spec.Interferer != "lora" || spec.InterfererDBm != -110 || spec.InterfererFreqHz != 25000 {
+		t.Errorf("interferer = %+v", spec)
+	}
+	if spec.SpeedMPS != 30 {
+		t.Errorf("speed = %v", spec.SpeedMPS)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"fading=weird",
+		"interferer=wifi:-90",
+		"interferer=lora", // missing power
+		"cfo=abc",
+		"nonsense=1",
+		"fading=rician", // missing K
+		"mobile=false",  // bare flag: a value must not silently enable it
+		"cfo=200:50",    // trailing arguments must error, not drop
+		"fading=rayleigh:3:9",
+		"interferer=lora:-100:0:7",
+		"speed=30:60",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseEmptyAndRoundTrip(t *testing.T) {
+	spec, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.String() != "clean" {
+		t.Errorf("empty spec renders %q", spec.String())
+	}
+	spec, err = Parse("fading=rayleigh:2,drift=5,interferer=ble:-95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", spec.String(), err)
+	}
+	if *back != *spec {
+		t.Errorf("round trip: %+v != %+v", back, spec)
+	}
+}
+
+func TestResamplePreservesToneFrequency(t *testing.T) {
+	const src = 500e3
+	const dst = 125e3
+	n := 4096
+	sig := make(iq.Samples, n)
+	for i := range sig {
+		ang := 2 * math.Pi * 10e3 / src * float64(i)
+		sig[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	out := Resample(sig, src, dst)
+	if got, want := len(out), n/4; got != want {
+		t.Fatalf("resampled length %d, want %d", got, want)
+	}
+	// The 10 kHz tone must land at 10 kHz of the new rate: measure by
+	// average phase increment over the filter's settled region.
+	var acc float64
+	for i := 256; i < len(out); i++ {
+		p := out[i] * complex(real(out[i-1]), -imag(out[i-1]))
+		acc += math.Atan2(imag(p), real(p))
+	}
+	gotHz := acc / float64(len(out)-256) / (2 * math.Pi) * dst
+	if math.Abs(gotHz-10e3) > 100 {
+		t.Errorf("tone at %v Hz after resample, want 10000", gotHz)
+	}
+}
+
+func TestInterfererWaveformBuilders(t *testing.T) {
+	w, err := DefaultInterfererWaveform("lora", 125e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) == 0 || w.Power() == 0 {
+		t.Error("empty LoRa interferer waveform")
+	}
+	w, err = DefaultInterfererWaveform("ble", 125e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) == 0 || w.Power() == 0 {
+		t.Error("empty BLE interferer waveform")
+	}
+	if _, err := DefaultInterfererWaveform("wifi", 125e3); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBuildComposesExpectedStages(t *testing.T) {
+	spec, err := Parse("fading=rician:10,cfo=200,drift=20,interferer=lora:-110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.Build(Link{SampleRate: 125e3, RSSIdBm: -118, FloorDBm: -116})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "gain→fading→cfo→interferer(lora)→noise"
+	if got := sc.String(); got != want {
+		t.Errorf("composition = %q, want %q", got, want)
+	}
+	// Mobile link swaps Gain for Mobility and adds Doppler.
+	spec, _ = Parse("speed=30")
+	sc, err = spec.Build(Link{SampleRate: 125e3, FloorDBm: -116,
+		TxPowerDBm: 14, TxGainDB: 6, StartM: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.String(); !strings.HasPrefix(got, "mobility→cfo") {
+		t.Errorf("mobile composition = %q, want mobility→cfo→…", got)
+	}
+	if _, err := spec.Build(Link{}); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	// A bare "mobile" parses and swaps in the Mobility stage at speed 0.
+	spec, err = Parse("mobile")
+	if err != nil || !spec.Mobile {
+		t.Fatalf("bare mobile flag: spec=%+v err=%v", spec, err)
+	}
+}
+
+func TestBuildUsesPrebuiltInterfererWave(t *testing.T) {
+	spec, err := Parse("interferer=lora:-100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny prebuilt waveform must be used as-is: the interference
+	// region in the output is exactly its length.
+	wave := make(iq.Samples, 32)
+	for i := range wave {
+		wave[i] = 1
+	}
+	sc, err := spec.Build(Link{SampleRate: 125e3, RSSIdBm: -120, FloorDBm: -200, InterfererWave: wave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Reset(1, 0)
+	out := sc.Apply(make(iq.Samples, 4096))
+	strong := 0
+	for _, x := range out {
+		// Interference at -100 dBm is ~1e-5 amplitude; the -200 dBm
+		// noise floor sits five orders of magnitude below it.
+		if real(x)*real(x)+imag(x)*imag(x) > 1e-12 {
+			strong++
+		}
+	}
+	if strong != len(wave) {
+		t.Errorf("interference spans %d samples, want the prebuilt %d", strong, len(wave))
+	}
+}
+
+// TestScenarioEndToEndLoRaDecode closes the loop through the real receive
+// path: a LoRa packet through a mild composed scenario must still decode.
+func TestScenarioEndToEndLoRaDecode(t *testing.T) {
+	p := lora.DefaultParams()
+	mod, err := lora.NewModulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demod, err := lora.NewDemodulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xA5, 0x5A, 0x3C}
+	sig, err := mod.Modulate(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse("fading=rician:12,cfo=100,drift=10,interferer=ble:-130")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.Build(Link{SampleRate: p.SampleRate(), RSSIdBm: -110, FloorDBm: -116.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	const packets = 10
+	for k := 0; k < packets; k++ {
+		sc.Reset(1, k)
+		pkt, err := demod.Receive(sc.Apply(sig))
+		if err == nil && pkt.CRCOK && string(pkt.Payload) == string(payload) {
+			ok++
+		}
+	}
+	// -110 dBm is 16 dB above sensitivity; mild impairments must leave
+	// the large majority of packets intact.
+	if ok < packets*7/10 {
+		t.Errorf("only %d/%d packets decoded under mild composed scenario", ok, packets)
+	}
+}
+
+func TestDopplerSign(t *testing.T) {
+	if d := DopplerHz(30, 915e6); d >= 0 || math.Abs(d+91.6) > 1 {
+		t.Errorf("doppler at 30 m/s receding = %v Hz, want ≈-91.6", d)
+	}
+}

@@ -1,0 +1,59 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+func TestLinkScenarioTracksGeometry(t *testing.T) {
+	c := NewCampus(1)
+	near, far := c.Nodes[0], c.Nodes[len(c.Nodes)-1]
+	if near.Distance() >= far.Distance() {
+		t.Fatal("campus nodes not ordered by distance")
+	}
+	const rate = 125e3
+	sig := make(iq.Samples, 8192)
+	for i := range sig {
+		ang := 2 * math.Pi * 0.1 * float64(i)
+		sig[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	power := func(n *Node) float64 {
+		// Shadowing swings individual draws by several dB; average a few
+		// trials so geometry dominates.
+		sc := c.LinkScenario(n, 0, rate, -200) // noise far below signal
+		var acc float64
+		for trial := 0; trial < 8; trial++ {
+			sc.Reset(1, trial)
+			acc += sc.Apply(sig).PowerDBm()
+		}
+		return acc / 8
+	}
+	if pn, pf := power(near), power(far); pn <= pf {
+		t.Errorf("near node %v dBm not stronger than far node %v dBm", pn, pf)
+	}
+}
+
+func TestLinkScenarioDeterministicPerTrial(t *testing.T) {
+	c := NewCampus(3)
+	n := c.Nodes[4]
+	sig := make(iq.Samples, 2048)
+	for i := range sig {
+		sig[i] = complex(1, 0)
+	}
+	a := c.LinkScenario(n, 30, 125e3, -116)
+	b := c.LinkScenario(n, 30, 125e3, -116)
+	a.Reset(9, 2)
+	b.Reset(9, 2)
+	outA := a.Apply(sig)
+	outB := b.Apply(sig)
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("independent instances diverge at sample %d", i)
+		}
+	}
+	if got := a.String(); got != "mobility→cfo→noise" {
+		t.Errorf("link scenario composition = %q", got)
+	}
+}

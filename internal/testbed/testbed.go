@@ -20,6 +20,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/power"
 	"github.com/uwsdr/tinysdr/internal/radio"
 	"github.com/uwsdr/tinysdr/internal/sim"
+	"github.com/uwsdr/tinysdr/internal/sim/scenario"
 )
 
 // DefaultNodeCount matches the paper's deployment.
@@ -113,6 +114,19 @@ func newHardwareNode(id uint16) *Node {
 func (c *Campus) RSSI(n *Node) float64 {
 	return c.Model.RSSIdBm(c.APTXPowerDBm, c.APAntennaGainDB, 0,
 		n.Distance(), c.seed*1000+int64(n.ID))
+}
+
+// LinkScenario returns the composable IQ-level downlink condition for one
+// node: a mobility stage solving path loss from the campus geometry (with
+// the campus shadowing model redrawn per trial), Doppler for an endpoint
+// moving radially at speedMPS, and receiver noise at floorDBm. Reset it
+// with (seed, trialIndex) before each packet; every worker needs its own
+// instance, like a demodulator.
+func (c *Campus) LinkScenario(n *Node, speedMPS, sampleRate, floorDBm float64) *channel.Scenario {
+	mob := channel.NewMobility(c.Model, c.APTXPowerDBm, c.APAntennaGainDB, 0,
+		n.Distance(), speedMPS, sampleRate)
+	cfo := channel.NewCFO(scenario.DopplerHz(speedMPS, c.Model.FreqHz), 0, 0, sampleRate)
+	return channel.NewScenario(mob, cfo, channel.NewNoise(floorDBm))
 }
 
 // ProgramResult is one node's outcome in a fleet update.

@@ -43,6 +43,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/lorawan"
 	"github.com/uwsdr/tinysdr/internal/ota"
 	"github.com/uwsdr/tinysdr/internal/radio"
+	"github.com/uwsdr/tinysdr/internal/sim/scenario"
 	"github.com/uwsdr/tinysdr/internal/testbed"
 )
 
@@ -106,6 +107,75 @@ func NewChannel(seed int64, floorDBm float64) *Channel {
 
 // PathLoss is the log-distance propagation model used for deployments.
 type PathLoss = channel.LogDistance
+
+// ChannelStage is one impairment in a composed channel scenario (fading,
+// CFO and clock drift, co-channel interference, mobility, noise).
+type ChannelStage = channel.Stage
+
+// ChannelScenario chains stages into one reproducible link condition:
+// Reset(seed, trial) re-derives every random element, so sweeps are
+// bit-identical at any worker count (see PERFORMANCE.md).
+type ChannelScenario = channel.Scenario
+
+// NewChannelScenario composes stages in signal-path order — typically
+// gain (or mobility), fading, CFO, interference, then noise.
+func NewChannelScenario(stages ...ChannelStage) *ChannelScenario {
+	return channel.NewScenario(stages...)
+}
+
+// NewGainStage scales the signal to a fixed mean received power.
+func NewGainStage(rssiDBm float64) ChannelStage { return channel.NewGain(rssiDBm) }
+
+// NewFlatFadingStage returns single-tap block fading with linear Rician
+// factor k (0 = Rayleigh) — the right model for narrowband IoT links.
+func NewFlatFadingStage(kFactor float64) ChannelStage { return channel.NewFlatFading(kFactor) }
+
+// NewCFOStage models oscillator mismatch: a fixed carrier offset, a
+// per-trial Gaussian draw of width jitterHz, and a sample-clock error in
+// parts per million.
+func NewCFOStage(offsetHz, jitterHz, driftPPM, sampleRate float64) ChannelStage {
+	return channel.NewCFO(offsetHz, jitterHz, driftPPM, sampleRate)
+}
+
+// InterfererStage injects a co-channel transmission from a second live
+// modulator; its exported fields tune carrier offset and alignment. To
+// shift the interferer off the victim carrier, set both FreqOffsetHz and
+// SampleRate — an offset without a rate panics at Reset rather than being
+// silently ignored.
+type InterfererStage = channel.Interferer
+
+// NewInterfererStage returns an interference stage for a waveform at the
+// given received power, with the start offset redrawn per trial.
+func NewInterfererStage(kind string, waveform Samples, powerDBm float64, maxOffsetSamples int) *InterfererStage {
+	return channel.NewInterferer(kind, waveform, powerDBm, maxOffsetSamples)
+}
+
+// NewNoiseStage adds receiver noise at a fixed integrated floor.
+func NewNoiseStage(floorDBm float64) ChannelStage { return channel.NewNoise(floorDBm) }
+
+// ScenarioSpec is a parsed composed-channel description (the grammar of
+// tinysdr-eval's -scenario flag); Build turns it into a ChannelScenario
+// for a concrete link.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioLink describes the victim link a ScenarioSpec is built for.
+type ScenarioLink = scenario.Link
+
+// ParseScenario parses the -scenario grammar, e.g.
+// "fading=rician:10,cfo=200,drift=20,interferer=lora:-110".
+func ParseScenario(s string) (*ScenarioSpec, error) { return scenario.Parse(s) }
+
+// LoRaInterfererWaveform runs a live LoRa modulator and resamples its
+// packet to a victim link's rate, for use with NewInterfererStage.
+func LoRaInterfererWaveform(p LoRaParams, payload []byte, dstRate float64) (Samples, error) {
+	return scenario.LoRaInterfererWaveform(p, payload, dstRate)
+}
+
+// BLEInterfererWaveform runs a live GFSK modulator on an advertising
+// channel and resamples the beacon to a victim link's rate.
+func BLEInterfererWaveform(b Beacon, sps, advChannel int, dstRate float64) (Samples, error) {
+	return scenario.BLEInterfererWaveform(b, sps, advChannel, dstRate)
+}
 
 // Beacon is a BLE non-connectable advertisement.
 type Beacon = ble.Beacon
