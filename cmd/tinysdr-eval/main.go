@@ -9,6 +9,7 @@
 //	tinysdr-eval -run fig10,fig11 -bench-json   # machine-readable metrics
 //	tinysdr-eval -run coexistence,mobility      # composed-channel sweeps
 //	tinysdr-eval -run scenario -scenario "fading=rician:10,cfo=200,interferer=ble:-110"
+//	tinysdr-eval -run scenario -phy backscatter # any registered PHY as the victim
 //
 // Monte-Carlo sweeps fan out across all CPUs by default; -workers bounds
 // the pool. Results are bit-identical for any worker count (see
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"github.com/uwsdr/tinysdr/internal/eval"
+	"github.com/uwsdr/tinysdr/internal/phy"
 )
 
 // benchEntry is one experiment's machine-readable record.
@@ -45,7 +47,10 @@ func main() {
 		"composed channel scenario for the 'scenario' experiment, e.g. "+
 			"\"fading=rician:10,cfo=200,drift=20,interferer=lora:-110\" "+
 			"(terms: fading=rayleigh[:taps]|rician:KdB[:taps], cfo/cfojitter=Hz, "+
-			"drift=ppm, interferer=lora|ble:dBm[:freqHz], speed=m/s)")
+			"drift=ppm, interferer=PHY:dBm[:freqHz] for any registered PHY, speed=m/s)")
+	phyName := flag.String("phy", "",
+		"victim protocol for the protocol-generic experiments; any of: "+
+			strings.Join(phy.Names(), ", ")+" (default lora)")
 	benchJSON := flag.Bool("bench-json", false,
 		"emit per-experiment wall time and headline metrics as JSON instead of rendered text")
 	flag.Parse()
@@ -54,7 +59,12 @@ func main() {
 		for _, e := range eval.All() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("\nregistered PHYs (-phy / interferer=): %s\n", strings.Join(phy.Names(), ", "))
 		return
+	}
+	if *phyName != "" && !phy.Registered(*phyName) {
+		fmt.Fprintf(os.Stderr, "unknown -phy %q (registered: %s)\n", *phyName, strings.Join(phy.Names(), ", "))
+		os.Exit(2)
 	}
 
 	var selected []eval.Experiment
@@ -71,7 +81,22 @@ func main() {
 		}
 	}
 
-	cfg := eval.Config{Quick: *quick, Seed: *seed, Workers: *workers, Scenario: *scenarioSpec}
+	if *phyName != "" {
+		// Only the PHY-generic experiments consume -phy; flag a selection
+		// that would silently ignore it (coexistence sweeps every PHY as
+		// the interferer, mobility is the LoRa Doppler story by design).
+		phyAware := false
+		for _, e := range selected {
+			if e.ID == "scenario" {
+				phyAware = true
+			}
+		}
+		if !phyAware {
+			fmt.Fprintf(os.Stderr, "warning: -phy %s has no effect on the selected experiments (it selects the victim of -run scenario)\n", *phyName)
+		}
+	}
+
+	cfg := eval.Config{Quick: *quick, Seed: *seed, Workers: *workers, Scenario: *scenarioSpec, PHY: *phyName}
 	var bench []benchEntry
 	for _, e := range selected {
 		if !*benchJSON {

@@ -1,13 +1,284 @@
 package tinysdr
 
-// Tests for the extension surface of the public API (§7 features).
+// Tests for the public API: the exported-surface golden check (every
+// facade symbol, diffed against testdata/api_surface.golden so breakage
+// fails CI loudly), the protocol-agnostic Modem/Link surface, and the
+// extension features (§7).
 
 import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"math"
+	"os"
+	"sort"
+	"strings"
 	"testing"
 
 	"github.com/uwsdr/tinysdr/internal/ota"
 )
+
+var updateSurface = flag.Bool("update-api-surface", false,
+	"rewrite testdata/api_surface.golden from the current exports")
+
+// exportedSurface parses every non-test file of the facade package and
+// returns one "kind name" line per exported top-level symbol, sorted.
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["tinysdr"]
+	if !ok {
+		t.Fatalf("package tinysdr not found (got %v)", pkgs)
+	}
+	var lines []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			lines = append(lines, kind+" "+name)
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					add("func", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						add("type", s.Name.Name)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							add(kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestFacadeAPISurfaceGolden diffs the exported surface against the
+// committed golden list: an accidental removal, rename or addition fails
+// here before any caller breaks. Regenerate intentionally with
+//
+//	go test . -run TestFacadeAPISurfaceGolden -update-api-surface
+func TestFacadeAPISurfaceGolden(t *testing.T) {
+	got := []byte(strings.Join(exportedSurface(t), "\n") + "\n")
+	const golden = "testdata/api_surface.golden"
+	if *updateSurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d symbols)", golden, bytes.Count(got, []byte("\n")))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden export list (run with -update-api-surface): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exported API surface changed.\nIf intentional, update MIGRATION.md and run:\n  go test . -run TestFacadeAPISurfaceGolden -update-api-surface\ndiff:\n%s",
+			surfaceDiff(string(want), string(got)))
+	}
+}
+
+// surfaceDiff renders a +/- line diff of two sorted symbol lists.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for l := range wantSet {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "  + %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+// Compile-time exercise of every exported symbol, in golden-list order: a
+// facade rename or removal breaks this block (and the golden diff above)
+// before it breaks any downstream caller.
+var _ = []any{
+	CR45, CR46, CR47, CR48,
+	FleetBroadcast, FleetUnicast,
+	TargetFPGA, TargetMCU,
+	AdaptSF, BLEDesign, BLEInterfererWaveform, BackscatterExcite,
+	BuildUpdate, DefaultBackscatterConfig, DefaultLoRaParams,
+	InterfererWaveform, LoRaDesign, LoRaInterfererWaveform,
+	LoRaNoiseFloorDBm, LoRaSensitivityDBm, New, NewABPSession,
+	NewAdvertiser, NewBLEDemodulator, NewBLEModem, NewBackscatterModem,
+	NewBackscatterReader, NewBroadcastOTASession, NewCFOStage, NewChannel,
+	NewChannelScenario, NewConcurrentDecoder, NewConcurrentTransmitter,
+	NewFlatFadingStage, NewFleetServer, NewGainStage, NewInterfererStage,
+	NewLoRaModem, NewModem, NewNoiseStage, NewOTASession, NewRanger,
+	NewTestbed, NewTestbedN, OpenLink, ParseScenario, RegisteredPHYs,
+	RunFleetCampaign, SynthBitstream, SynthMCUFirmware, TestbedCDF,
+	Trilaterate,
+}
+
+var (
+	_ Advertiser
+	_ Anchor
+	_ BLEDemodulator
+	_ BackscatterConfig
+	_ BackscatterReader
+	_ BackscatterTag
+	_ Beacon
+	_ BroadcastOTASession
+	_ BroadcastTarget
+	_ Channel
+	_ ChannelScenario
+	_ ChannelStage
+	_ CodingRate
+	_ ConcurrentDecoder
+	_ ConcurrentTransmitter
+	_ Config
+	_ Design
+	_ Device
+	_ FleetNodeResult
+	_ FleetResult
+	_ FleetServer
+	_ FleetSpec
+	_ InterfererStage
+	_ Link
+	_ LinkStats
+	_ LoRaPacket
+	_ LoRaParams
+	_ LoRaWANFrame
+	_ LoRaWANSession
+	_ LocalizationSystem
+	_ Modem
+	_ OTASession
+	_ PathLoss
+	_ RadioProfile
+	_ Ranger
+	_ Samples
+	_ ScenarioLink
+	_ ScenarioSpec
+	_ Testbed
+	_ TestbedResult
+	_ Update
+	_ UpdateTarget
+)
+
+// TestFacadeModemLink exercises the protocol-agnostic surface end to end:
+// registry construction, typed constructors, link-budget anchors from one
+// radio profile, and the Link pipeline for every registered PHY.
+func TestFacadeModemLink(t *testing.T) {
+	phys := RegisteredPHYs()
+	if len(phys) < 3 {
+		t.Fatalf("registered PHYs = %v, want at least lora/ble/backscatter", phys)
+	}
+	for _, name := range phys {
+		tx, err := NewModem(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := NewModem(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewChannelScenario(
+			NewGainStage(rx.SensitivityDBm()+18),
+			NewNoiseStage(rx.NoiseFloorDBm()),
+		)
+		link, err := OpenLink(tx, rx, sc, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := link.Send([]byte("hello"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(pkt) != "hello" {
+			t.Errorf("%s: payload %q", name, pkt)
+		}
+		var stats LinkStats
+		if stats, err = link.Run([]byte("hello"), 8); err != nil || stats.PER > 0.25 {
+			t.Errorf("%s: stats %+v, err %v", name, stats, err)
+		}
+	}
+	if _, err := NewModem("wifi"); err == nil {
+		t.Error("unregistered modem accepted")
+	}
+
+	// Typed constructors share the registry modems' contract.
+	lm, err := NewLoRaModem(DefaultLoRaParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := NewBLEModem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackscatterModem(DefaultBackscatterConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLink(lm, bm, nil, 1); err == nil {
+		t.Error("mismatched sample rates accepted")
+	}
+	if w, err := InterfererWaveform("backscatter", 125e3); err != nil || len(w) == 0 {
+		t.Errorf("generic interferer waveform: %d samples, %v", len(w), err)
+	}
+}
+
+// TestFacadeNoiseFigureConsistency is the regression test for the facade
+// noise-figure mismatch: the sensitivity and noise-floor helpers must
+// derive from one radio profile, and the modem they describe must agree.
+func TestFacadeNoiseFigureConsistency(t *testing.T) {
+	p := DefaultLoRaParams()
+	m, err := NewLoRaModem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.SensitivityDBm(), LoRaSensitivityDBm(p.SF, p.BW); got != want {
+		t.Errorf("modem sensitivity %v != facade helper %v", got, want)
+	}
+	if got, want := m.NoiseFloorDBm(), LoRaNoiseFloorDBm(p); got != want {
+		t.Errorf("modem noise floor %v != facade helper %v", got, want)
+	}
+	// Both helpers must imply the same noise figure: subtracting the
+	// thermal+bandwidth terms from each must agree.
+	nfFromSens := LoRaSensitivityDBm(p.SF, p.BW) - (-174 + 10*math.Log10(p.BW) - 5 - 2.5*float64(p.SF-6))
+	nfFromFloor := LoRaNoiseFloorDBm(p) - (-174 + 10*math.Log10(p.SampleRate()))
+	if math.Abs(nfFromSens-nfFromFloor) > 1e-9 {
+		t.Errorf("mixed noise figures: %v from sensitivity, %v from floor", nfFromSens, nfFromFloor)
+	}
+	if rp := m.Radio(); rp.NoiseFigureDB != nfFromFloor {
+		t.Errorf("radio profile NF %v, helpers imply %v", rp.NoiseFigureDB, nfFromFloor)
+	}
+}
 
 func TestFacadeAdaptSF(t *testing.T) {
 	if got := AdaptSF(-80, 125e3, 3); got != 7 {

@@ -1,0 +1,22 @@
+package channel
+
+// RadioProfile describes one receive chain for link-budget purposes: the
+// effective system noise figure that turns a sampled bandwidth into an
+// integrated noise floor. A modem carries exactly one profile and derives
+// both its sensitivity and its noise floor from it, so a link can never
+// silently mix noise figures the way independent per-protocol helpers
+// could. The canonical chip profiles live in internal/radio; this type
+// sits in channel so protocol packages can reference it without importing
+// the radio models (which import them back).
+type RadioProfile struct {
+	// Name identifies the chain, e.g. "sx1276" or "cc2650".
+	Name string
+	// NoiseFigureDB is the receive-path effective system noise figure.
+	NoiseFigureDB float64
+}
+
+// NoiseFloorDBm returns the receiver noise power integrated over a
+// bandwidth for this chain — the floor to hand to NewNoise or NewAWGN.
+func (p RadioProfile) NoiseFloorDBm(bwHz float64) float64 {
+	return NoiseFloorDBm(bwHz, p.NoiseFigureDB)
+}

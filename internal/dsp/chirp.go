@@ -85,9 +85,18 @@ func NewChirpStream(g ChirpGen) *ChirpStream {
 // Symbol appends one chirp symbol of count samples with the given cyclic
 // shift and slope direction, continuing the accumulated phase.
 func (st *ChirpStream) Symbol(shift int, down bool, count int) iq.Samples {
+	return st.SymbolInto(make(iq.Samples, count), shift, down)
+}
+
+// SymbolInto writes one chirp symbol of len(dst) samples with the given
+// cyclic shift and slope direction into dst, continuing the accumulated
+// phase, and returns dst. It performs no allocation — the primitive behind
+// the zero-alloc ModulateInto waveform path.
+func (st *ChirpStream) SymbolInto(dst iq.Samples, shift int, down bool) iq.Samples {
 	g := st.g
 	s := g.SymbolLen()
-	out := make(iq.Samples, count)
+	out := dst
+	count := len(dst)
 	m := shift * g.OSR % s
 	scale := 1 / (float64(s) * float64(g.OSR))
 	for n := 0; n < count; n++ {

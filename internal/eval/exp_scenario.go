@@ -1,19 +1,22 @@
 package eval
 
 // The scenario-engine sweeps: coexistence (PER vs co-channel interferer
-// power and carrier offset, with the interference produced by second live
-// modulators) and mobility (PER vs endpoint speed through the campus
-// propagation field). Both run entirely on composed channel.Scenario
-// chains, so every trial's waveform is a fixed function of (seed, trial
-// index) and the curves are bit-identical at any worker count.
+// power and carrier offset, with the interference produced by the live
+// modulator of every registered PHY) and mobility (PER vs endpoint speed
+// through the campus propagation field). Both run protocol-generically on
+// the phy registry and Link pipeline, so every trial's waveform is a fixed
+// function of (seed, trial index) and the curves are bit-identical at any
+// worker count.
 
 import (
-	"bytes"
 	"fmt"
+	"hash/fnv"
+	"strings"
 
 	"github.com/uwsdr/tinysdr/internal/channel"
 	"github.com/uwsdr/tinysdr/internal/iq"
 	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/phy"
 	"github.com/uwsdr/tinysdr/internal/radio"
 	"github.com/uwsdr/tinysdr/internal/sim/scenario"
 	"github.com/uwsdr/tinysdr/internal/testbed"
@@ -22,45 +25,72 @@ import (
 // coexPayload is the victim packet used by the scenario sweeps.
 var coexPayload = []byte{0xA5, 0x5A, 0x3C}
 
-// scenarioPER pushes packets copies of sig through sc (Reset per packet
-// from scenario seed and the packet index) and returns the packet error
-// rate seen by demod.
-func scenarioPER(demod *lora.Demodulator, rx iq.Samples, sig iq.Samples, sc *channel.Scenario, seed int64, packets int) float64 {
-	failures := 0
-	for k := 0; k < packets; k++ {
-		sc.Reset(seed, k)
-		pkt, err := demod.Receive(sc.ApplyInto(rx, sig))
-		if err != nil || !pkt.CRCOK || !bytes.Equal(pkt.Payload, coexPayload) {
-			failures++
-		}
+// victimPHY resolves the -phy selection: empty means the paper's LoRa case
+// study.
+func victimPHY(cfg Config) string {
+	if cfg.PHY == "" {
+		return "lora"
 	}
-	return float64(failures) / float64(packets)
+	return cfg.PHY
 }
 
-// coexLink is the victim configuration of the coexistence sweep: the
-// paper's SF8 case study at OSR 2, so the front-end FIR is in the loop and
-// interferer carrier offsets see a real channel filter.
-func coexLink() lora.Params {
-	p := lora.DefaultParams()
-	p.OSR = 2
-	return p
+// kindSeed derives a stable per-protocol seed offset from the registry
+// name, so adding or removing a PHY never reshuffles another protocol's
+// curves (an index-based offset would).
+func kindSeed(seed int64, kind string) int64 {
+	h := fnv.New32a()
+	h.Write([]byte(kind))
+	return seed + int64(h.Sum32()&0xFFFF)
 }
 
-// perState is the worker-private state of every scenario sweep: a
-// demodulator plus receive scratch sized to the victim waveform.
-type perState struct {
-	demod *lora.Demodulator
-	rx    iq.Samples
+// linkState is the worker-private state of every scenario sweep: one modem
+// (playing both roles of the single-goroutine Link pipeline) and the Link
+// it keeps across grid points, so the victim waveform is synthesized once
+// per worker and only the scenario is rebound per point.
+type linkState struct {
+	modem phy.Modem
+	link  *phy.Link
 }
 
-func newPERState(p lora.Params, n int) func() (*perState, error) {
-	return func() (*perState, error) {
-		demod, err := lora.NewDemodulator(p)
+// newLinkState builds per-worker modems for a registered PHY.
+func newLinkState(name string) func() (*linkState, error) {
+	return func() (*linkState, error) {
+		m, err := phy.New(name)
 		if err != nil {
 			return nil, err
 		}
-		return &perState{demod: demod, rx: make(iq.Samples, n)}, nil
+		return &linkState{modem: m}, nil
 	}
+}
+
+// linkPER binds the worker's Link to a scenario and measures PER over the
+// given packet count, with all channel randomness derived from (seed,
+// packet index).
+func (s *linkState) linkPER(sc *channel.Scenario, seed int64, packets int) (float64, error) {
+	if s.link == nil {
+		link, err := phy.Open(s.modem, s.modem, sc, seed)
+		if err != nil {
+			return 0, err
+		}
+		s.link = link
+	} else {
+		s.link.Rebind(sc, seed)
+	}
+	st, err := s.link.Run(coexPayload, packets)
+	if err != nil {
+		return 0, err
+	}
+	return st.PER, nil
+}
+
+// coexVictim is the victim configuration of the coexistence sweep: the
+// paper's SF8 case study at OSR 2, so the front-end FIR is in the loop and
+// interferer carrier offsets see a real channel filter. It keeps the LoRa
+// modem's calibrated radio profile.
+func coexVictim() (*lora.Modem, error) {
+	p := lora.DefaultParams()
+	p.OSR = 2
+	return lora.NewModem(p, radio.SX1276Profile())
 }
 
 // kneeAt returns the first x whose y meets or exceeds the threshold, or
@@ -75,40 +105,38 @@ func kneeAt(x, y []float64, threshold float64) float64 {
 }
 
 // Coexistence sweeps the victim LoRa link against live co-channel
-// interference: PER vs interferer power for a second LoRa transmitter and
-// for a BLE advertiser, plus PER vs the LoRa interferer's carrier offset —
-// the power-control and guard-band questions of §6 asked of the composed
-// scenario engine.
+// interference from every registered PHY: PER vs interferer power per
+// protocol, plus PER vs the LoRa interferer's carrier offset — the
+// power-control and guard-band questions of §6 asked of the composed
+// scenario engine. A newly registered PHY joins the sweep with no changes
+// here.
 func Coexistence(cfg Config) (*Result, error) {
 	packets := 60
 	if cfg.Quick {
 		packets = 16
 	}
-	p := coexLink()
-	mod, err := lora.NewModulator(p)
+	victim, err := coexVictim()
 	if err != nil {
 		return nil, err
 	}
-	sig, err := mod.Modulate(coexPayload)
+	sig, err := victim.ModulateInto(nil, coexPayload)
 	if err != nil {
 		return nil, err
 	}
-	floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
-	sens := lora.SensitivityDBm(p.SF, p.BW, radio.NoiseFigureDB)
-	rssi := sens + 8
+	floor := victim.NoiseFloorDBm()
+	rssi := victim.SensitivityDBm() + 8
+	rate := victim.SampleRate()
 
 	// The interference sources are real modulator output (the same
 	// canonical waveforms the -scenario CLI injects), resampled to the
 	// victim rate once and shared read-only across workers.
-	loraWave, err := scenario.DefaultInterfererWaveform("lora", p.SampleRate())
-	if err != nil {
-		return nil, err
+	kinds := phy.Names()
+	waves := map[string]iq.Samples{}
+	for _, kind := range kinds {
+		if waves[kind], err = scenario.DefaultInterfererWaveform(kind, rate); err != nil {
+			return nil, err
+		}
 	}
-	bleWave, err := scenario.DefaultInterfererWaveform("ble", p.SampleRate())
-	if err != nil {
-		return nil, err
-	}
-	waves := map[string]iq.Samples{"lora": loraWave, "ble": bleWave}
 
 	// One trial per sweep point: the trial builds its own scenario (the
 	// interferer power differs per point) and resets it per packet from
@@ -116,25 +144,33 @@ func Coexistence(cfg Config) (*Result, error) {
 	buildScenario := func(wave iq.Samples, kind string, powerDBm, freqOffHz float64) *channel.Scenario {
 		it := channel.NewInterferer(kind, wave, powerDBm, max(len(sig)-len(wave), 1))
 		it.FreqOffsetHz = freqOffHz
-		it.SampleRate = p.SampleRate()
+		it.SampleRate = rate
 		return channel.NewScenario(
 			channel.NewGain(rssi),
 			channel.NewFlatFading(iq.FromDB(12)),
-			channel.NewCFO(0, 100, 10, p.SampleRate()),
+			channel.NewCFO(0, 100, 10, rate),
 			it,
 			channel.NewNoise(floor),
 		)
+	}
+	newCoexState := func() (*linkState, error) {
+		m, err := coexVictim()
+		if err != nil {
+			return nil, err
+		}
+		return &linkState{modem: m}, nil
 	}
 
 	powers := sweep(-132, -102, 3)
 	var series []Series
 	metrics := map[string]float64{}
-	for ki, kind := range []string{"lora", "ble"} {
+	for _, kind := range kinds {
 		wave := waves[kind]
-		pers, err := runTrials(cfg.Workers, len(powers), newPERState(p, len(sig)),
-			func(s *perState, i int) (float64, error) {
+		kind := kind
+		pers, err := runTrials(cfg.Workers, len(powers), newCoexState,
+			func(s *linkState, i int) (float64, error) {
 				sc := buildScenario(wave, kind, powers[i], 0)
-				return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+int64(ki)*31, i), packets), nil
+				return s.linkPER(sc, TrialSeed(kindSeed(cfg.Seed, kind), i), packets)
 			})
 		if err != nil {
 			return nil, err
@@ -142,20 +178,24 @@ func Coexistence(cfg Config) (*Result, error) {
 		series = append(series, Series{
 			Name: fmt.Sprintf("%s interferer (PER vs power)", kind),
 			X:    powers, Y: percent(pers)})
-		base := pers[0]
+		// The interference-free baseline is estimated from the three
+		// weakest points so one Monte-Carlo outlier cannot fake a knee.
+		base := (pers[0] + pers[1] + pers[2]) / 3
 		metrics["coex_"+kind+"_base_per"] = base
-		metrics["coex_"+kind+"_knee_dBm"] = kneeAt(powers, pers, max(2*base, base+0.1))
+		metrics["coex_"+kind+"_knee_dBm"] = kneeAt(powers, pers, max(2*base, base+0.15))
 		metrics["coex_"+kind+"_p50_dBm"] = kneeAt(powers, pers, 0.5)
 	}
 
-	// Carrier-offset sweep: the LoRa interferer held at a power that
-	// cripples the link co-channel, walked off the victim carrier.
+	// Carrier-offset sweep: the LoRa interferer held 8 dB over the victim
+	// budget — a power that cripples the link co-channel — walked off the
+	// victim carrier. Anchoring to the budget (not an absolute power)
+	// keeps the sweep's relative geometry stable across radio profiles.
 	offsets := sweep(0, 75e3, 12.5e3)
-	const offPower = -108
-	offPers, err := runTrials(cfg.Workers, len(offsets), newPERState(p, len(sig)),
-		func(s *perState, i int) (float64, error) {
-			sc := buildScenario(loraWave, "lora", offPower, offsets[i])
-			return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+977, i), packets), nil
+	offPower := rssi + 8
+	offPers, err := runTrials(cfg.Workers, len(offsets), newCoexState,
+		func(s *linkState, i int) (float64, error) {
+			sc := buildScenario(waves["lora"], "lora", offPower, offsets[i])
+			return s.linkPER(sc, TrialSeed(cfg.Seed+977, i), packets)
 		})
 	if err != nil {
 		return nil, err
@@ -171,12 +211,16 @@ func Coexistence(cfg Config) (*Result, error) {
 	metrics["coex_offset_max_per"] = offPers[len(offPers)-1]
 	metrics["coex_offset_escape_kHz"] = kneeAndBack(offKHz, offPers)
 
+	knees := make([]string, len(kinds))
+	for i, kind := range kinds {
+		knees[i] = fmt.Sprintf("%s-on-LoRa %.0f dBm", kind, metrics["coex_"+kind+"_knee_dBm"])
+	}
 	text := RenderXY(
-		fmt.Sprintf("Coexistence: SF8/BW125 victim at %.0f dBm under live interference (%s)",
+		fmt.Sprintf("Coexistence: SF8/BW125 victim at %.0f dBm under live interference from every registered PHY (%s)",
 			rssi, "gain→fading→cfo→interferer→noise"),
 		"interferer power (dBm) / carrier offset (kHz)", "PER (%)", series, 64, 16)
-	text += fmt.Sprintf("\nknee: LoRa-on-LoRa %.0f dBm, BLE-on-LoRa %.0f dBm; offset sweep PER: %.0f%% co-channel, %.0f%% at %.1f kHz (14-tap front end)\n",
-		metrics["coex_lora_knee_dBm"], metrics["coex_ble_knee_dBm"],
+	text += fmt.Sprintf("\nknee: %s; offset sweep PER: %.0f%% co-channel, %.0f%% at %.1f kHz (14-tap front end)\n",
+		strings.Join(knees, ", "),
 		metrics["coex_offset_cochannel_per"]*100, metrics["coex_offset_max_per"]*100,
 		offKHz[len(offKHz)-1])
 	return &Result{ID: "coexistence", Title: "Coexistence interference sweeps", Text: text, Metrics: metrics}, nil
@@ -196,32 +240,29 @@ func kneeAndBack(x, y []float64) float64 {
 
 // Mobility sweeps PER against the endpoint's radial speed on the campus
 // testbed link: the scenario composes per-packet path-loss trajectories
-// (with the campus shadowing model) and the matching Doppler shift. The
-// knee lands where Doppler crosses half a chirp bin — the §7 rate-
-// adaptation question extended to moving endpoints.
+// (with the campus shadowing model) and the matching Doppler shift, driving
+// the LoRa modem through the phy.Link pipeline. The knee lands where
+// Doppler crosses half a chirp bin — the §7 rate-adaptation question
+// extended to moving endpoints.
 func Mobility(cfg Config) (*Result, error) {
 	packets := 40
 	if cfg.Quick {
 		packets = 12
 	}
+	probe, err := phy.New("lora")
+	if err != nil {
+		return nil, err
+	}
 	p := lora.DefaultParams()
-	mod, err := lora.NewModulator(p)
-	if err != nil {
-		return nil, err
-	}
-	sig, err := mod.Modulate(coexPayload)
-	if err != nil {
-		return nil, err
-	}
-	floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
+	floor := probe.NoiseFloorDBm()
 	campus := testbed.NewCampus(cfg.Seed)
 	node := campus.Nodes[len(campus.Nodes)/2]
 
 	speeds := sweep(0, 160, 16)
-	pers, err := runTrials(cfg.Workers, len(speeds), newPERState(p, len(sig)),
-		func(s *perState, i int) (float64, error) {
-			sc := campus.LinkScenario(node, speeds[i], p.SampleRate(), floor)
-			return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+1543, i), packets), nil
+	pers, err := runTrials(cfg.Workers, len(speeds), newLinkState("lora"),
+		func(s *linkState, i int) (float64, error) {
+			sc := campus.LinkScenario(node, speeds[i], s.modem.SampleRate(), floor)
+			return s.linkPER(sc, TrialSeed(cfg.Seed+1543, i), packets)
 		})
 	if err != nil {
 		return nil, err
@@ -247,7 +288,10 @@ func Mobility(cfg Config) (*Result, error) {
 
 // ScenarioPER measures PER vs RSSI for an arbitrary composed scenario
 // (Config.Scenario, the CLI's -scenario flag) against the clean-AWGN
-// baseline, quantifying the composed impairments' sensitivity penalty.
+// baseline, quantifying the composed impairments' sensitivity penalty. The
+// victim protocol is Config.PHY (the CLI's -phy flag): any registered PHY
+// runs through the same Link pipeline with its own sensitivity and noise
+// anchors.
 func ScenarioPER(cfg Config) (*Result, error) {
 	packets := 60
 	if cfg.Quick {
@@ -267,17 +311,14 @@ func ScenarioPER(cfg Config) (*Result, error) {
 		// flatten — moving endpoints are the "mobility" experiment's job.
 		return nil, fmt.Errorf("eval: -scenario speed/mobile terms are incompatible with the RSSI sweep; use -run mobility")
 	}
-	p := lora.DefaultParams()
-	mod, err := lora.NewModulator(p)
+	name := victimPHY(cfg)
+	probe, err := phy.New(name)
 	if err != nil {
 		return nil, err
 	}
-	sig, err := mod.Modulate(coexPayload)
-	if err != nil {
-		return nil, err
-	}
-	floor := channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
-	sens := lora.SensitivityDBm(p.SF, p.BW, radio.NoiseFigureDB)
+	floor := probe.NoiseFloorDBm()
+	sens := probe.SensitivityDBm()
+	rate := probe.SampleRate()
 	margins := sweep(-4, 14, 2)
 	rssis := make([]float64, len(margins))
 	for i, m := range margins {
@@ -297,20 +338,20 @@ func ScenarioPER(cfg Config) (*Result, error) {
 		// it read-only and only rebuild the cheap stage chain.
 		var interfWave iq.Samples
 		if cs.Interferer != "" {
-			if interfWave, err = scenario.DefaultInterfererWaveform(cs.Interferer, p.SampleRate()); err != nil {
+			if interfWave, err = scenario.DefaultInterfererWaveform(cs.Interferer, rate); err != nil {
 				return nil, err
 			}
 		}
-		pers, err := runTrials(cfg.Workers, len(rssis), newPERState(p, len(sig)),
-			func(s *perState, i int) (float64, error) {
+		pers, err := runTrials(cfg.Workers, len(rssis), newLinkState(name),
+			func(s *linkState, i int) (float64, error) {
 				sc, err := cs.Build(scenario.Link{
-					SampleRate: p.SampleRate(), RSSIdBm: rssis[i], FloorDBm: floor,
+					SampleRate: rate, RSSIdBm: rssis[i], FloorDBm: floor,
 					InterfererWave: interfWave,
 				})
 				if err != nil {
 					return 0, err
 				}
-				return scenarioPER(s.demod, s.rx, sig, sc, TrialSeed(cfg.Seed+int64(ci)*131, i), packets), nil
+				return s.linkPER(sc, TrialSeed(cfg.Seed+int64(ci)*131, i), packets)
 			})
 		if err != nil {
 			return nil, err
@@ -319,15 +360,16 @@ func ScenarioPER(cfg Config) (*Result, error) {
 	}
 
 	series := []Series{
-		{Name: "composed: " + spec.String(), X: rssis, Y: percent(curves["scenario"])},
+		{Name: fmt.Sprintf("composed %s: %s", name, spec.String()), X: rssis, Y: percent(curves["scenario"])},
 		{Name: "clean AWGN", X: rssis, Y: percent(curves["clean"])},
 	}
 	metrics := map[string]float64{
 		"scn_p50_dBm":   kneeBelow(rssis, curves["scenario"], 0.5),
 		"clean_p50_dBm": kneeBelow(rssis, curves["clean"], 0.5),
+		"scn_sens_dBm":  sens,
 	}
 	metrics["scn_penalty_dB"] = metrics["scn_p50_dBm"] - metrics["clean_p50_dBm"]
-	text := RenderXY("Composed scenario PER vs RSSI ("+spec.String()+")",
+	text := RenderXY(fmt.Sprintf("Composed scenario PER vs RSSI — %s victim (%s)", name, spec.String()),
 		"RSSI (dBm)", "PER (%)", series, 64, 16)
 	text += fmt.Sprintf("\n50%%-PER point: composed %.1f dBm vs clean %.1f dBm — penalty %.1f dB\n",
 		metrics["scn_p50_dBm"], metrics["clean_p50_dBm"], metrics["scn_penalty_dB"])

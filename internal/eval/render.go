@@ -155,6 +155,10 @@ type Config struct {
 	// "fading=rician:10,cfo=200,interferer=lora:-110"). Empty selects a
 	// mild default.
 	Scenario string
+	// PHY selects the victim protocol for the protocol-generic
+	// experiments (the CLI's -phy flag): any registered phy.Names()
+	// entry. Empty selects "lora".
+	PHY string
 }
 
 // Experiment is one regenerable table or figure.
@@ -189,9 +193,9 @@ func All() []Experiment {
 		{"compression", "§5.3: firmware compression results", CompressionResults},
 		{"otaenergy", "§5.3: OTA update energy and battery budget", OTAEnergy},
 		{"concurrentres", "§6: concurrent demodulation resources and power", ConcurrentResources},
-		{"coexistence", "coexistence: PER vs live LoRa/BLE interferer power and carrier offset", Coexistence},
+		{"coexistence", "coexistence: PER vs live interferer power (every registered PHY) and carrier offset", Coexistence},
 		{"mobility", "mobility: PER vs endpoint speed on the campus downlink", Mobility},
-		{"scenario", "composed-scenario PER vs RSSI (-scenario flag)", ScenarioPER},
+		{"scenario", "composed-scenario PER vs RSSI for any -phy victim (-scenario flag)", ScenarioPER},
 		{"ablation-broadcast", "ablation: sequential vs broadcast fleet programming (§7)", AblationBroadcast},
 		{"fleetscale", "fleet-scale campaigns: broadcast vs unicast across N (§7 at scale)", FleetScale},
 		{"ablation-packet", "ablation: OTA packet-size trade-off (§5.3 design point)", AblationPacketSize},

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"math"
 	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/phy"
 )
 
 func TestCoexistenceMetricsPlausible(t *testing.T) {
@@ -48,6 +50,41 @@ func TestScenarioExperimentPenalty(t *testing.T) {
 	// below sensitivity.
 	if got := r.Metrics["scn_penalty_dB"]; got < 0 {
 		t.Errorf("scenario penalty = %.1f dB, want >= 0", got)
+	}
+}
+
+// TestScenarioExperimentProtocolGeneric runs the composed-scenario RSSI
+// sweep with every registered PHY as the victim — the -phy flag's
+// contract: any protocol in the registry drives the same Link pipeline
+// with its own sensitivity and noise anchors.
+func TestScenarioExperimentProtocolGeneric(t *testing.T) {
+	e, ok := ByID("scenario")
+	if !ok {
+		t.Fatal("scenario experiment not registered")
+	}
+	for _, name := range phy.Names() {
+		cfg := quickCfg()
+		cfg.PHY = name
+		r, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s victim: %v", name, err)
+		}
+		// The clean curve must anchor near the modem's own sensitivity:
+		// its 50%-PER point sits inside the swept ±(4..14) dB margin
+		// window around it.
+		sens := r.Metrics["scn_sens_dBm"]
+		p50 := r.Metrics["clean_p50_dBm"]
+		if p50 < sens-6 || p50 > sens+16 {
+			t.Errorf("%s: clean 50%%-PER at %.1f dBm, sensitivity anchor %.1f dBm", name, p50, sens)
+		}
+		if r.Metrics["scn_penalty_dB"] < 0 {
+			t.Errorf("%s: composed penalty %.1f dB negative", name, r.Metrics["scn_penalty_dB"])
+		}
+	}
+	cfg := quickCfg()
+	cfg.PHY = "wifi"
+	if _, err := e.Run(cfg); err == nil {
+		t.Error("unregistered -phy accepted")
 	}
 }
 

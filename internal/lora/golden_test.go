@@ -171,4 +171,3 @@ func TestGoldenCaptureSymbolExact(t *testing.T) {
 		})
 	}
 }
-

@@ -35,29 +35,46 @@ func (m *Modulator) Symbols(payload []byte) ([]int, error) {
 // preamble upchirps, two sync symbols, 2.25 SFD downchirps, then the
 // encoded payload symbols. The waveform is phase-continuous throughout.
 func (m *Modulator) Modulate(payload []byte) (iq.Samples, error) {
+	return m.ModulateInto(nil, payload)
+}
+
+// ModulateInto is Modulate synthesizing into dst's capacity: dst is resized
+// (reallocating only when too small) and every chirp is written in place, so
+// a steady-state caller reusing one buffer sees no waveform allocation.
+func (m *Modulator) ModulateInto(dst iq.Samples, payload []byte) (iq.Samples, error) {
 	symbols, err := m.Symbols(payload)
 	if err != nil {
 		return nil, err
 	}
 	st := dsp.NewChirpStream(m.p.chirpGen())
 	sLen := m.p.chirpGen().SymbolLen()
-	total := (m.p.PreambleLen+2)*sLen + sLen*9/4 + len(symbols)*sLen
-	out := make(iq.Samples, 0, total)
+	quarter := sLen / 4
+	total := (m.p.PreambleLen+4)*sLen + quarter + len(symbols)*sLen
+	if cap(dst) < total {
+		dst = make(iq.Samples, total)
+	}
+	out := dst[:total]
 
+	off := 0
+	next := func(n int) iq.Samples {
+		w := out[off : off+n]
+		off += n
+		return w
+	}
 	for i := 0; i < m.p.PreambleLen; i++ {
-		out = append(out, st.Upchirp(0)...)
+		st.SymbolInto(next(sLen), 0, false)
 	}
 	s1, s2 := m.p.syncShifts()
-	out = append(out, st.Upchirp(s1)...)
-	out = append(out, st.Upchirp(s2)...)
-	out = append(out, st.Downchirp()...)
-	out = append(out, st.Downchirp()...)
-	out = append(out, st.Symbol(0, true, sLen/4)...)
+	st.SymbolInto(next(sLen), s1, false)
+	st.SymbolInto(next(sLen), s2, false)
+	st.SymbolInto(next(sLen), 0, true)
+	st.SymbolInto(next(sLen), 0, true)
+	st.SymbolInto(next(quarter), 0, true)
 	for _, sym := range symbols {
 		if sym < 0 || sym >= m.p.NumChips() {
 			return nil, fmt.Errorf("lora: symbol value %d out of range", sym)
 		}
-		out = append(out, st.Upchirp(sym)...)
+		st.SymbolInto(next(sLen), sym, false)
 	}
 	return out, nil
 }

@@ -1,0 +1,104 @@
+package lora
+
+import (
+	"errors"
+	"time"
+
+	"github.com/uwsdr/tinysdr/internal/channel"
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// Modem bundles the LoRa modulator, demodulator and one radio profile into
+// the protocol-agnostic PHY contract of internal/phy (it satisfies
+// phy.Modem structurally, keeping this package free of the registry). Both
+// SensitivityDBm and NoiseFloorDBm derive from the same profile, so a link
+// built on a Modem cannot mix noise figures.
+//
+// Like the Demodulator it wraps, a Modem owns scratch arenas and is NOT
+// safe for concurrent use; give each goroutine its own instance.
+type Modem struct {
+	mod     *Modulator
+	demod   *Demodulator
+	profile channel.RadioProfile
+}
+
+// NewModem returns a LoRa modem for the parameters, calibrated against the
+// given receive chain. The packet pipeline carries the payload length in
+// the explicit header, so implicit-header configurations are rejected here
+// rather than failing on every received packet.
+func NewModem(p Params, profile channel.RadioProfile) (*Modem, error) {
+	if !p.ExplicitHeader {
+		return nil, errors.New("lora: modem requires explicit header (implicit RX needs an out-of-band length)")
+	}
+	mod, err := NewModulator(p)
+	if err != nil {
+		return nil, err
+	}
+	demod, err := NewDemodulator(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Modem{mod: mod, demod: demod, profile: profile}, nil
+}
+
+// Name implements phy.Modem.
+func (m *Modem) Name() string { return "lora" }
+
+// Params returns the modem's PHY configuration.
+func (m *Modem) Params() Params { return m.mod.Params() }
+
+// SampleRate implements phy.Modem.
+func (m *Modem) SampleRate() float64 { return m.mod.Params().SampleRate() }
+
+// Airtime implements phy.Modem: the on-air duration of a packet with an
+// n-byte payload.
+func (m *Modem) Airtime(payloadBytes int) time.Duration {
+	return m.mod.Params().TimeOnAir(payloadBytes)
+}
+
+// Radio implements phy.Modem.
+func (m *Modem) Radio() channel.RadioProfile { return m.profile }
+
+// SensitivityDBm implements phy.Modem: thermal floor + the profile's noise
+// figure + the Semtech demodulation SNR limit for the spreading factor.
+func (m *Modem) SensitivityDBm() float64 {
+	p := m.mod.Params()
+	return SensitivityDBm(p.SF, p.BW, m.profile.NoiseFigureDB)
+}
+
+// NoiseFloorDBm implements phy.Modem: the profile's floor integrated over
+// the modem's sampled bandwidth.
+func (m *Modem) NoiseFloorDBm() float64 {
+	return m.profile.NoiseFloorDBm(m.mod.Params().SampleRate())
+}
+
+// ModulateInto implements phy.Modem, synthesizing the packet waveform into
+// dst's capacity.
+func (m *Modem) ModulateInto(dst iq.Samples, payload []byte) (iq.Samples, error) {
+	return m.mod.ModulateInto(dst, payload)
+}
+
+// errCRC reports a received packet whose payload CRC failed.
+var errCRC = errors.New("lora: payload CRC failed")
+
+// DemodulateFrom implements phy.Modem: it locates and decodes one packet in
+// sig and appends its payload to dst[:0]. A failed payload CRC is an error —
+// the Link pipeline counts it as a lost packet, like hardware would drop it.
+func (m *Modem) DemodulateFrom(dst []byte, sig iq.Samples) ([]byte, error) {
+	pkt, err := m.demod.Receive(sig)
+	if err != nil {
+		return nil, err
+	}
+	if m.mod.Params().CRC && !pkt.CRCOK {
+		return nil, errCRC
+	}
+	return append(dst[:0], pkt.Payload...), nil
+}
+
+// DemodAlignedSymbolsInto exposes the aligned chirp-symbol hot path through
+// the modem (phy.SymbolStreamer): with a capacity-sized dst the loop is
+// allocation-free, preserving the 0 allocs/op sweep contract behind the
+// interface.
+func (m *Modem) DemodAlignedSymbolsInto(dst []int, sig iq.Samples) []int {
+	return m.demod.DemodAlignedSymbolsInto(dst, sig)
+}

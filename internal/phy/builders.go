@@ -1,0 +1,33 @@
+package phy
+
+// Default protocol registrations. Each builder constructs the protocol's
+// canonical configuration with its calibrated radio profile; importing phy
+// is enough to make every platform PHY available to the registry, the
+// scenario grammar and the -phy experiment selection.
+
+import (
+	"github.com/uwsdr/tinysdr/internal/backscatter"
+	"github.com/uwsdr/tinysdr/internal/ble"
+	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/radio"
+)
+
+// DefaultBLESPS is the registry BLE modem's oversampling: 4 samples per
+// symbol matches the AT86RF215's 4 MHz I/Q interface at 1 Mbps.
+const DefaultBLESPS = 4
+
+func init() {
+	Register("lora", func() (Modem, error) {
+		// The paper's case-study configuration against the SX1276-class
+		// chain it is calibrated to (-126 dBm at SF8/BW125).
+		return lora.NewModem(lora.DefaultParams(), radio.SX1276Profile())
+	})
+	Register("ble", func() (Modem, error) {
+		// The CC2650 chain of Fig. 12 (-94 dBm beacon sensitivity).
+		return ble.NewModem(DefaultBLESPS, radio.CC2650Profile())
+	})
+	Register("backscatter", func() (Modem, error) {
+		// The §7 subcarrier reader on the platform's own I/Q chain.
+		return backscatter.NewModem(backscatter.DefaultConfig(), radio.AT86RF215Profile())
+	})
+}

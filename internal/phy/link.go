@@ -1,0 +1,173 @@
+package phy
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/uwsdr/tinysdr/internal/channel"
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// Link binds a TX modem, a composed channel scenario and an RX modem into
+// one reproducible pipeline: modulate → scenario → demodulate. Every
+// packet's channel randomness is a fixed function of (Seed, packet index),
+// so a Link measurement is bit-identical wherever it runs — the same
+// determinism contract the eval sweeps are built on.
+//
+// A Link owns waveform scratch and wraps single-goroutine modems, so it is
+// NOT safe for concurrent use; trial-parallel sweeps give each worker its
+// own Link.
+type Link struct {
+	tx, rx   Modem
+	scenario *channel.Scenario
+	seed     int64
+	sent     int
+
+	txBuf   iq.Samples
+	txValid bool   // txBuf holds the waveform for lastPld
+	lastPld []byte // payload txBuf currently encodes
+	rxBuf   iq.Samples
+	pld     []byte
+}
+
+// Stats summarizes one Link measurement run.
+type Stats struct {
+	// Packets is how many packets were pushed through the pipeline.
+	Packets int
+	// Failures counts packets that failed to demodulate or decoded to the
+	// wrong payload.
+	Failures int
+	// PER is Failures/Packets.
+	PER float64
+	// RSSIdBm is the mean received power measured at the scenario output
+	// across the run (not the configured budget: fading, interference and
+	// noise all land in it).
+	RSSIdBm float64
+}
+
+// Open binds the pipeline. The TX and RX modems must agree on the sample
+// rate (the scenario operates at that common rate); a nil scenario means an
+// identity channel. Seed drives all channel randomness.
+func Open(tx, rx Modem, sc *channel.Scenario, seed int64) (*Link, error) {
+	if tx == nil || rx == nil {
+		return nil, fmt.Errorf("phy: link needs a TX and an RX modem")
+	}
+	if tx.SampleRate() != rx.SampleRate() {
+		return nil, fmt.Errorf("phy: TX %s at %g Hz vs RX %s at %g Hz — resample one side first",
+			tx.Name(), tx.SampleRate(), rx.Name(), rx.SampleRate())
+	}
+	if sc == nil {
+		sc = channel.NewScenario()
+	}
+	return &Link{tx: tx, rx: rx, scenario: sc, seed: seed}, nil
+}
+
+// Rebind swaps the channel scenario and seed while keeping the modems,
+// scratch buffers and cached TX waveform: a sweep rebinds its worker's
+// Link per grid point instead of reopening, so the victim packet is
+// synthesized once per worker, not once per point. Send's packet counter
+// restarts with the new binding.
+func (l *Link) Rebind(sc *channel.Scenario, seed int64) {
+	if sc == nil {
+		sc = channel.NewScenario()
+	}
+	l.scenario = sc
+	l.seed = seed
+	l.sent = 0
+}
+
+// TX returns the transmit-side modem.
+func (l *Link) TX() Modem { return l.tx }
+
+// RX returns the receive-side modem.
+func (l *Link) RX() Modem { return l.rx }
+
+// Scenario returns the composed channel between the modems.
+func (l *Link) Scenario() *channel.Scenario { return l.scenario }
+
+// Send pushes one packet through the pipeline and returns the payload the
+// RX modem recovered (valid until the next call). Each call advances the
+// channel to the next packet index, so a sequence of Sends is
+// deterministic in call order.
+func (l *Link) Send(payload []byte) ([]byte, error) {
+	got, _, err := l.transfer(l.sent, payload)
+	l.sent++
+	return got, err
+}
+
+// ensureWave fills txBuf with the payload's waveform. Modulation is
+// deterministic, so a repeated payload reuses the cached waveform — a Run
+// sweep synthesizes its packet once, not once per trial.
+func (l *Link) ensureWave(payload []byte) error {
+	if l.txValid && bytes.Equal(payload, l.lastPld) {
+		return nil
+	}
+	l.txValid = false
+	wave, err := l.tx.ModulateInto(l.txBuf, payload)
+	if err != nil {
+		return err
+	}
+	l.txBuf = wave
+	l.lastPld = append(l.lastPld[:0], payload...)
+	l.txValid = true
+	return nil
+}
+
+// transfer runs packet index k: modulate, apply the scenario for (seed, k),
+// demodulate. All buffers are Link scratch; the returned rx waveform stays
+// valid until the next call.
+func (l *Link) transfer(k int, payload []byte) (got []byte, rx iq.Samples, err error) {
+	if err := l.ensureWave(payload); err != nil {
+		return nil, nil, err
+	}
+	return l.transferCached(k)
+}
+
+// transferCached runs packet index k against the already-ensured waveform.
+// It never reads the caller's payload slice, so a payload that aliases the
+// demod scratch (e.g. the slice a previous Send returned) cannot be
+// clobbered mid-run.
+func (l *Link) transferCached(k int) (got []byte, rx iq.Samples, err error) {
+	wave := l.txBuf
+	if cap(l.rxBuf) < len(wave) {
+		l.rxBuf = make(iq.Samples, len(wave))
+	}
+	l.scenario.Reset(l.seed, k)
+	rx = l.scenario.ApplyInto(l.rxBuf[:len(wave)], wave)
+	got, err = l.rx.DemodulateFrom(l.pld, rx)
+	if err != nil {
+		return nil, rx, err
+	}
+	l.pld = got
+	return got, rx, nil
+}
+
+// Run measures the link: the payload is sent packets times (packet indices
+// 0..packets-1, independent of any prior Sends), and the PER and mean
+// received power are returned. A packet counts as failed when demodulation
+// errors or the recovered payload differs from the transmitted one; a
+// payload the TX modem cannot modulate at all is the caller's error, not a
+// channel loss, and is returned as such.
+func (l *Link) Run(payload []byte, packets int) (Stats, error) {
+	if packets <= 0 {
+		return Stats{}, fmt.Errorf("phy: run needs at least one packet, got %d", packets)
+	}
+	if err := l.ensureWave(payload); err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Packets: packets}
+	var rxPowerMilliwatts float64
+	for k := 0; k < packets; k++ {
+		// Compare against the Link-owned snapshot (l.lastPld), never the
+		// caller's slice: if that slice aliases the demod scratch, a
+		// decode would overwrite the comparison baseline in place.
+		got, rx, err := l.transferCached(k)
+		if err != nil || !bytes.Equal(got, l.lastPld) {
+			st.Failures++
+		}
+		rxPowerMilliwatts += rx.Power()
+	}
+	st.PER = float64(st.Failures) / float64(packets)
+	st.RSSIdBm = iq.MilliwattsToDBm(rxPowerMilliwatts / float64(packets))
+	return st, nil
+}

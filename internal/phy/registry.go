@@ -1,0 +1,65 @@
+package phy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Builder constructs a protocol's default modem. Builders must be pure:
+// every call returns a fresh, identically-configured modem, so worker
+// pools can build per-goroutine instances that behave bit-identically.
+type Builder func() (Modem, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Builder{}
+)
+
+// Register adds a protocol to the registry under its name. It panics on an
+// empty name or a duplicate registration — protocol wiring is a
+// program-structure error, not a runtime condition.
+func Register(name string, b Builder) {
+	if name == "" || b == nil {
+		panic("phy: Register needs a name and a builder")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("phy: protocol %q registered twice", name))
+	}
+	registry[name] = b
+}
+
+// Names returns every registered protocol name in sorted order — the
+// deterministic iteration order sweeps and CLIs must use so results are
+// independent of registration order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registered reports whether a protocol name is known.
+func Registered(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// New builds the named protocol's default modem.
+func New(name string) (Modem, error) {
+	registryMu.RLock()
+	b, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown protocol %q (registered: %v)", name, Names())
+	}
+	return b()
+}

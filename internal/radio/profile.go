@@ -1,0 +1,28 @@
+package radio
+
+import "github.com/uwsdr/tinysdr/internal/channel"
+
+// Canonical receive-chain profiles for the radios the simulation models.
+// A channel.RadioProfile bundles a chain's noise figure so modems derive
+// sensitivity and noise floor from one place (see internal/phy).
+
+// SX1276Profile is the Semtech LoRa chain: NF 7 dB reproduces the -126 dBm
+// SF8/BW125 datasheet sensitivity the paper measures. The tinySDR FPGA
+// demodulator is calibrated against this chain in Figs. 10/11, so it is
+// also the LoRa modem's default profile.
+func SX1276Profile() channel.RadioProfile {
+	return channel.RadioProfile{Name: "sx1276", NoiseFigureDB: SX1276NoiseFigureDB}
+}
+
+// AT86RF215Profile is the platform's I/Q radio receive chain (NF 8.8 dB),
+// the figure behind the wideband experiments that sample at the radio's
+// full interface rate.
+func AT86RF215Profile() channel.RadioProfile {
+	return channel.RadioProfile{Name: "at86rf215", NoiseFigureDB: NoiseFigureDB}
+}
+
+// CC2650Profile is the TI BLE reference receiver of Fig. 12 (NF 4.2 dB);
+// the BLE discriminator demodulator stands in for this chain.
+func CC2650Profile() channel.RadioProfile {
+	return channel.RadioProfile{Name: "cc2650", NoiseFigureDB: CC2650NoiseFigureDB}
+}

@@ -2,9 +2,9 @@ package scenario
 
 // Scenario wiring: this file turns a compact textual spec (the CLI's
 // -scenario flag) plus a link description into a composed channel.Scenario,
-// running the real LoRa/BLE modulators to synthesize co-channel
-// interference. It lives in sim rather than channel so the channel engine
-// stays free of protocol dependencies.
+// running any registered PHY's live modulator (internal/phy) to synthesize
+// co-channel interference. It lives in sim rather than channel so the
+// channel engine stays free of protocol dependencies.
 
 import (
 	"fmt"
@@ -16,6 +16,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/dsp"
 	"github.com/uwsdr/tinysdr/internal/iq"
 	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/phy"
 )
 
 // SpeedOfLight is used to convert mobility speed to Doppler shift.
@@ -86,23 +87,35 @@ func BLEInterfererWaveform(b ble.Beacon, sps, advChannel int, dstRate float64) (
 	return Resample(sig, mod.SampleRate(), dstRate), nil
 }
 
-// DefaultInterfererWaveform builds the canonical interference waveform for
-// a spec kind ("lora" or "ble") at the link rate — the single definition
-// shared by Spec.Build and the eval coexistence sweep, so the CLI's
-// -scenario interference and the committed sweep curves never diverge.
-func DefaultInterfererWaveform(kind string, dstRate float64) (iq.Samples, error) {
-	switch kind {
-	case "lora":
-		return LoRaInterfererWaveform(lora.DefaultParams(),
-			[]byte{0xC0, 0xEE, 0x57, 0xA7, 0x10, 0x4E}, dstRate)
-	case "ble":
-		return BLEInterfererWaveform(ble.Beacon{
-			AdvAddress: [6]byte{0xC0, 0xEE, 0x11, 0x57, 0xEC, 0x02},
-			AdvData:    []byte("tinysdr-coex"),
-		}, 2, 37, dstRate)
-	default:
-		return nil, fmt.Errorf("sim: unknown interferer kind %q (want lora or ble)", kind)
+// interfererPayload is the canonical payload every registered PHY
+// modulates for its interference waveform. The LoRa kind keeps the 6-byte
+// packet it has always injected (same on-air length and symbol content as
+// the PR-3 waveform; the committed coexistence numbers were re-measured
+// for PR 4's radio-profile fix regardless), newer kinds share a readable
+// canonical payload.
+func interfererPayload(kind string) []byte {
+	if kind == "lora" {
+		return []byte{0xC0, 0xEE, 0x57, 0xA7, 0x10, 0x4E}
 	}
+	return []byte("tinysdr-coex")
+}
+
+// DefaultInterfererWaveform builds the canonical interference waveform for
+// any registered PHY at the link rate: the protocol's registry modem
+// transmits the canonical payload and the result is resampled to the
+// victim rate. It is the single definition shared by Spec.Build and the
+// eval coexistence sweep, so the CLI's -scenario interference and the
+// committed sweep curves never diverge.
+func DefaultInterfererWaveform(kind string, dstRate float64) (iq.Samples, error) {
+	m, err := phy.New(kind)
+	if err != nil {
+		return nil, fmt.Errorf("sim: interferer: %w", err)
+	}
+	sig, err := m.ModulateInto(nil, interfererPayload(kind))
+	if err != nil {
+		return nil, fmt.Errorf("sim: interferer %s: %w", kind, err)
+	}
+	return Resample(sig, m.SampleRate(), dstRate), nil
 }
 
 // Link describes the victim link a scenario is built for.
@@ -147,8 +160,9 @@ type Spec struct {
 	CFOJitterHz float64
 	DriftPPM    float64
 
-	// Interferer is "", "lora" or "ble"; InterfererDBm its received
-	// power; InterfererFreqHz its carrier offset from the victim.
+	// Interferer is "" or any registered PHY name (phy.Names());
+	// InterfererDBm its received power; InterfererFreqHz its carrier
+	// offset from the victim.
 	Interferer       string
 	InterfererDBm    float64
 	InterfererFreqHz float64
@@ -166,7 +180,7 @@ type Spec struct {
 //
 //	fading=rayleigh[:taps] | fading=rician:KdB[:taps]
 //	cfo=HZ  cfojitter=HZ  drift=PPM
-//	interferer=KIND:DBM[:FREQHZ]   (KIND: lora | ble)
+//	interferer=KIND:DBM[:FREQHZ]   (KIND: any registered PHY — phy.Names())
 //	speed=MPS  mobile
 //
 // e.g. "fading=rician:10,cfo=200,drift=20,interferer=lora:-110".
@@ -236,8 +250,8 @@ func Parse(s string) (*Spec, error) {
 			}
 		case "interferer":
 			spec.Interferer = args[0]
-			if spec.Interferer != "lora" && spec.Interferer != "ble" {
-				err = fmt.Errorf("sim: unknown interferer kind %q", args[0])
+			if !phy.Registered(spec.Interferer) {
+				err = fmt.Errorf("sim: unknown interferer kind %q (registered: %v)", args[0], phy.Names())
 				break
 			}
 			if err = atMost(3); err != nil {

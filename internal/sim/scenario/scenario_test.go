@@ -7,6 +7,7 @@ import (
 
 	"github.com/uwsdr/tinysdr/internal/iq"
 	"github.com/uwsdr/tinysdr/internal/lora"
+	"github.com/uwsdr/tinysdr/internal/phy"
 )
 
 func TestParseFull(t *testing.T) {
@@ -96,22 +97,37 @@ func TestResamplePreservesToneFrequency(t *testing.T) {
 }
 
 func TestInterfererWaveformBuilders(t *testing.T) {
-	w, err := DefaultInterfererWaveform("lora", 125e3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(w) == 0 || w.Power() == 0 {
-		t.Error("empty LoRa interferer waveform")
-	}
-	w, err = DefaultInterfererWaveform("ble", 125e3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(w) == 0 || w.Power() == 0 {
-		t.Error("empty BLE interferer waveform")
+	// Every registered PHY must synthesize a usable interference waveform
+	// at a foreign victim rate — the registry is the grammar's source of
+	// truth, so a new protocol registration is automatically a new
+	// interferer kind.
+	for _, kind := range phy.Names() {
+		w, err := DefaultInterfererWaveform(kind, 125e3)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(w) == 0 || w.Power() == 0 {
+			t.Errorf("empty %s interferer waveform", kind)
+		}
 	}
 	if _, err := DefaultInterfererWaveform("wifi", 125e3); err == nil {
 		t.Error("unknown kind accepted")
+	}
+}
+
+func TestParseAcceptsAnyRegisteredInterferer(t *testing.T) {
+	for _, kind := range phy.Names() {
+		spec, err := Parse("interferer=" + kind + ":-100")
+		if err != nil {
+			t.Fatalf("%s rejected: %v", kind, err)
+		}
+		sc, err := spec.Build(Link{SampleRate: 125e3, RSSIdBm: -110, FloorDBm: -117})
+		if err != nil {
+			t.Fatalf("%s build: %v", kind, err)
+		}
+		if want := "gain→interferer(" + kind + ")→noise"; sc.String() != want {
+			t.Errorf("%s composition = %q, want %q", kind, sc.String(), want)
+		}
 	}
 }
 

@@ -6,27 +6,39 @@
 //
 // The package exposes the platform as a set of composable simulation
 // models: a Device (radio + FPGA + MCU + power management on a simulated
-// clock), LoRa and BLE physical layers implemented the way the tinySDR
-// FPGA implements them, a wireless channel, the OTA programming protocol
-// (unicast and §7 broadcast), a campus testbed at any fleet size, and a
-// campaign control plane that programs whole fleets (RunFleetCampaign,
-// cmd/tinysdr-fleet). Every figure and table of the paper's evaluation can
-// be regenerated from these models with cmd/tinysdr-eval.
+// clock), a protocol-agnostic Modem registry with the LoRa, BLE and
+// backscatter physical layers implemented the way the tinySDR FPGA
+// implements them, composable channel scenarios, the OTA programming
+// protocol (unicast and §7 broadcast), a campus testbed at any fleet
+// size, and a campaign control plane that programs whole fleets
+// (RunFleetCampaign, cmd/tinysdr-fleet). Every figure and table of the
+// paper's evaluation can be regenerated from these models with
+// cmd/tinysdr-eval.
 // The Monte-Carlo sweeps behind those figures run on a zero-allocation
 // DSP hot path and a deterministic trial-parallel runner; PERFORMANCE.md
 // describes both and how to benchmark them.
 //
 // # Quick start
 //
-//	tx := tinysdr.New(tinysdr.Config{ID: 1})
-//	rx := tinysdr.New(tinysdr.Config{ID: 2})
-//	p := tinysdr.DefaultLoRaParams()
-//	tx.ConfigureLoRa(p)
-//	rx.ConfigureLoRa(p)
-//	air, _ := tx.TransmitLoRa([]byte("hello"), 14)
-//	ch := tinysdr.NewChannel(42, tinysdr.LoRaNoiseFloorDBm(p))
-//	pkt, _ := rx.ReceiveLoRa(ch.Apply(air, -120))
-//	fmt.Printf("%s\n", pkt.Payload)
+// Any registered PHY runs through the same Modem/Link pipeline — swap
+// "lora" for "ble" or "backscatter" and nothing else changes:
+//
+//	tx, _ := tinysdr.NewModem("lora")
+//	rx, _ := tinysdr.NewModem("lora")
+//	sc := tinysdr.NewChannelScenario(
+//		tinysdr.NewGainStage(rx.SensitivityDBm()+6), // -120 dBm for LoRa
+//		tinysdr.NewNoiseStage(rx.NoiseFloorDBm()),
+//	)
+//	link, _ := tinysdr.OpenLink(tx, rx, sc, 42)
+//	pkt, _ := link.Send([]byte("hello"))
+//	fmt.Printf("%s\n", pkt)
+//	stats, _ := link.Run([]byte("hello"), 100)
+//	fmt.Printf("PER %.1f%% at %.1f dBm\n", stats.PER*100, stats.RSSIdBm)
+//
+// The per-protocol device helpers (ConfigureLoRa/TransmitLoRa/ReceiveLoRa,
+// NewAdvertiser, NewBackscatterReader, ...) remain available as thin
+// wrappers over the same PHY implementations; MIGRATION.md maps the old
+// constructors to Link calls.
 package tinysdr
 
 import (
@@ -42,10 +54,72 @@ import (
 	"github.com/uwsdr/tinysdr/internal/lora/concurrent"
 	"github.com/uwsdr/tinysdr/internal/lorawan"
 	"github.com/uwsdr/tinysdr/internal/ota"
+	"github.com/uwsdr/tinysdr/internal/phy"
 	"github.com/uwsdr/tinysdr/internal/radio"
 	"github.com/uwsdr/tinysdr/internal/sim/scenario"
 	"github.com/uwsdr/tinysdr/internal/testbed"
 )
+
+// Modem is one protocol's physical layer behind the protocol-agnostic PHY
+// contract: waveform synthesis (ModulateInto), packet recovery
+// (DemodulateFrom) and the link-budget anchors (SensitivityDBm,
+// NoiseFloorDBm), all derived from a single radio profile. LoRa, BLE and
+// backscatter all satisfy it; a Modem is single-goroutine like the
+// demodulator scratch it owns.
+type Modem = phy.Modem
+
+// RadioProfile is a receive chain's link-budget identity (name + noise
+// figure); a Modem's sensitivity and noise floor both derive from its one
+// profile, so a link can never mix noise figures.
+type RadioProfile = channel.RadioProfile
+
+// Link binds a TX modem, a ChannelScenario and an RX modem into one
+// reproducible pipeline with PER/RSSI metrics: every packet's channel
+// randomness is a fixed function of (seed, packet index).
+type Link = phy.Link
+
+// LinkStats summarizes a Link measurement run.
+type LinkStats = phy.Stats
+
+// RegisteredPHYs lists every protocol in the PHY registry, sorted. Each
+// name is valid for NewModem, tinysdr-eval's -phy flag and the scenario
+// grammar's interferer=<phy> term.
+func RegisteredPHYs() []string { return phy.Names() }
+
+// NewModem builds the named protocol's canonical modem from the registry
+// ("lora", "ble", "backscatter", or any later registration).
+func NewModem(name string) (Modem, error) { return phy.New(name) }
+
+// NewLoRaModem returns a LoRa modem for explicit parameters, calibrated
+// against the facade's LoRa radio profile (SX1276-class, the paper's
+// -126 dBm SF8/BW125 anchor).
+func NewLoRaModem(p LoRaParams) (Modem, error) { return lora.NewModem(p, loRaRadio) }
+
+// NewBLEModem returns a BLE beacon modem at the given oversampling (4
+// matches the radio's 4 MHz interface at 1 Mbps), calibrated against the
+// CC2650 reference chain of Fig. 12.
+func NewBLEModem(sps int) (Modem, error) { return ble.NewModem(sps, radio.CC2650Profile()) }
+
+// NewBackscatterModem returns a §7 backscatter reader modem for the
+// configuration, on the platform's own I/Q chain.
+func NewBackscatterModem(c BackscatterConfig) (Modem, error) {
+	return backscatter.NewModem(c, radio.AT86RF215Profile())
+}
+
+// OpenLink binds the pipeline: TX modem → scenario → RX modem. The modems
+// must share a sample rate; a nil scenario is the identity channel; seed
+// drives all channel randomness.
+func OpenLink(tx, rx Modem, sc *ChannelScenario, seed int64) (*Link, error) {
+	return phy.Open(tx, rx, sc, seed)
+}
+
+// InterfererWaveform builds the canonical interference waveform of any
+// registered PHY at a victim link's sample rate — the protocol-generic
+// successor of LoRaInterfererWaveform/BLEInterfererWaveform, and exactly
+// what the scenario grammar's interferer=<phy> term injects.
+func InterfererWaveform(kind string, dstRate float64) (Samples, error) {
+	return scenario.DefaultInterfererWaveform(kind, dstRate)
+}
 
 // Device is one simulated tinySDR board: AT86RF215 I/Q radio, LFE5U-25F
 // FPGA, MSP432 MCU, SX1276 OTA backbone, flash, RF front ends and the
@@ -83,17 +157,28 @@ const (
 // SF8, 125 kHz, CR 4/5, explicit header, CRC, 10-symbol preamble.
 func DefaultLoRaParams() LoRaParams { return lora.DefaultParams() }
 
+// loRaRadio is the single receive-chain profile behind every facade LoRa
+// link-budget helper and NewLoRaModem. Routing LoRaSensitivityDBm and
+// LoRaNoiseFloorDBm through the same profile fixes the historical
+// mismatch where sensitivity used the SX1276's 7 dB noise figure while
+// the noise floor used the AT86RF215's 8.8 dB for the same link.
+var loRaRadio = radio.SX1276Profile()
+
 // LoRaSensitivityDBm returns the receive sensitivity the platform achieves
 // for a spreading factor and bandwidth (−126 dBm at SF8/125 kHz, matching
-// both the paper's measurement and the SX1276 datasheet).
+// both the paper's measurement and the SX1276 datasheet). It derives from
+// the same radio profile as LoRaNoiseFloorDBm.
 func LoRaSensitivityDBm(sf int, bwHz float64) float64 {
-	return lora.SensitivityDBm(sf, bwHz, radio.SX1276NoiseFigureDB)
+	return lora.SensitivityDBm(sf, bwHz, loRaRadio.NoiseFigureDB)
 }
 
 // LoRaNoiseFloorDBm returns the receiver noise floor for a configuration's
-// sampled bandwidth — the floor to hand to NewChannel for link simulations.
+// sampled bandwidth — the floor to hand to NewChannel for link
+// simulations. It derives from the same radio profile as
+// LoRaSensitivityDBm, so a simulated link's floor and sensitivity anchor
+// can never mix noise figures.
 func LoRaNoiseFloorDBm(p LoRaParams) float64 {
-	return channel.NoiseFloorDBm(p.SampleRate(), radio.NoiseFigureDB)
+	return loRaRadio.NoiseFloorDBm(p.SampleRate())
 }
 
 // Channel is an AWGN channel with a fixed receiver noise floor.
@@ -283,9 +368,10 @@ func NewABPSession(addr uint32, nwkSKey, appSKey [16]byte) *LoRaWANSession {
 type LoRaWANFrame = lorawan.DataFrame
 
 // AdaptSF selects the fastest spreading factor with the requested link
-// margin at an observed RSSI — the §7 rate-adaptation primitive.
+// margin at an observed RSSI — the §7 rate-adaptation primitive. It uses
+// the same radio profile as LoRaSensitivityDBm.
 func AdaptSF(rssiDBm, bwHz, marginDB float64) int {
-	return lora.AdaptSF(rssiDBm, bwHz, radio.SX1276NoiseFigureDB, marginDB)
+	return lora.AdaptSF(rssiDBm, bwHz, loRaRadio.NoiseFigureDB, marginDB)
 }
 
 // Ranger measures range by multi-carrier phase (§7 localization).
