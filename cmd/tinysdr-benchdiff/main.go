@@ -1,0 +1,174 @@
+// Command tinysdr-benchdiff compares two bench JSON files produced by
+// `tinysdr-eval -bench-json` and enforces the perf trajectory: it renders a
+// per-experiment wall-time table with metric drift, and exits non-zero when
+// the total wall time of the experiments common to both files regresses by
+// more than the threshold (per-experiment times on quick runs are too noisy
+// to gate individually; the total is stable enough for a soft CI gate).
+//
+// Usage:
+//
+//	tinysdr-benchdiff old.json new.json
+//	tinysdr-benchdiff -max-regress 15 BENCH_baseline.json fresh.json
+//	tinysdr-benchdiff -metric-drift 25 BENCH_pr5.json fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// benchFile mirrors tinysdr-eval's -bench-json layout.
+type benchFile struct {
+	Seed        int64        `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Adaptive    *bool        `json:"adaptive"` // absent in pre-adaptive files
+	Eps         float64      `json:"eps"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+type benchEntry struct {
+	ID      string             `json:"id"`
+	Millis  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments", path)
+	}
+	return &f, nil
+}
+
+func describe(f *benchFile) string {
+	mode := "fixed-budget"
+	if f.Adaptive != nil && *f.Adaptive {
+		mode = fmt.Sprintf("adaptive eps=%g", f.Eps)
+	}
+	return fmt.Sprintf("seed=%d quick=%v %s", f.Seed, f.Quick, mode)
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 15,
+		"fail when total wall time of common experiments regresses by more than this percent")
+	metricDrift := flag.Float64("metric-drift", 10,
+		"report metrics whose relative change exceeds this percent (informational)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tinysdr-benchdiff [-max-regress pct] [-metric-drift pct] old.json new.json")
+		os.Exit(2)
+	}
+	oldF, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newF, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n\n", flag.Arg(0), describe(oldF), flag.Arg(1), describe(newF))
+
+	oldByID := map[string]benchEntry{}
+	for _, e := range oldF.Experiments {
+		oldByID[e.ID] = e
+	}
+	var ids []string
+	newByID := map[string]benchEntry{}
+	for _, e := range newF.Experiments {
+		newByID[e.ID] = e
+		if _, ok := oldByID[e.ID]; ok {
+			ids = append(ids, e.ID)
+		} else {
+			fmt.Printf("%-16s only in new file (%.1f ms)\n", e.ID, e.Millis)
+		}
+	}
+	for _, e := range oldF.Experiments {
+		if _, ok := newByID[e.ID]; !ok {
+			fmt.Printf("%-16s only in old file (%.1f ms)\n", e.ID, e.Millis)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments in common")
+		os.Exit(2)
+	}
+	sort.Strings(ids)
+
+	fmt.Printf("%-16s %10s %10s %8s\n", "experiment", "old ms", "new ms", "delta")
+	var oldTotal, newTotal float64
+	drifted := 0
+	for _, id := range ids {
+		o, n := oldByID[id], newByID[id]
+		oldTotal += o.Millis
+		newTotal += n.Millis
+		fmt.Printf("%-16s %10.1f %10.1f %+7.1f%%\n", id, o.Millis, n.Millis, pctDelta(o.Millis, n.Millis))
+		for _, k := range sortedKeys(o.Metrics) {
+			ov := o.Metrics[k]
+			nv, ok := n.Metrics[k]
+			if !ok {
+				fmt.Printf("    metric %-28s dropped (old %.4g)\n", k, ov)
+				drifted++
+				continue
+			}
+			if relDrift(ov, nv) > *metricDrift {
+				fmt.Printf("    metric %-28s %.4g -> %.4g (%+.1f%%)\n", k, ov, nv, pctDelta(ov, nv))
+				drifted++
+			}
+		}
+	}
+	delta := pctDelta(oldTotal, newTotal)
+	fmt.Printf("%-16s %10.1f %10.1f %+7.1f%%\n", "TOTAL", oldTotal, newTotal, delta)
+	if drifted > 0 {
+		fmt.Printf("\n%d metric(s) drifted more than %.0f%% (informational; wall time is the gate)\n",
+			drifted, *metricDrift)
+	}
+	if delta > *maxRegress {
+		fmt.Fprintf(os.Stderr, "\nFAIL: total wall time regressed %.1f%% (> %.0f%% threshold)\n", delta, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: total wall time %+.1f%% (threshold +%.0f%%)\n", delta, *maxRegress)
+}
+
+// pctDelta is the signed relative change from old to new in percent.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / math.Abs(old) * 100
+}
+
+// relDrift is the magnitude of the relative change, tolerant of zero
+// baselines (any change from exactly 0 counts as full drift).
+func relDrift(old, new float64) float64 {
+	if old == new {
+		return 0
+	}
+	if old == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(new-old) / math.Abs(old) * 100
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

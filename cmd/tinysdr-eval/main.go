@@ -10,16 +10,20 @@
 //	tinysdr-eval -run coexistence,mobility      # composed-channel sweeps
 //	tinysdr-eval -run scenario -scenario "fading=rician:10,cfo=200,interferer=ble:-110"
 //	tinysdr-eval -run scenario -phy backscatter # any registered PHY as the victim
+//	tinysdr-eval -run all -adaptive=false       # full fixed trial budgets
+//	tinysdr-eval -run scenario -eps 0.05        # tighter sequential-stopping bound
 //
 // Monte-Carlo sweeps fan out across all CPUs by default; -workers bounds
-// the pool. Results are bit-identical for any worker count (see
-// PERFORMANCE.md).
+// the pool, and sequential stopping (-adaptive, on by default) ends a
+// sweep point once its Wilson error-rate interval is settled. Results are
+// bit-identical for any worker count in both modes (see PERFORMANCE.md).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -35,6 +39,20 @@ type benchEntry struct {
 	Title   string             `json:"title"`
 	Millis  float64            `json:"wall_ms"`
 	Metrics map[string]float64 `json:"metrics"`
+}
+
+// finiteMetrics drops non-finite values (some experiments use ±Inf as a
+// "link failed" sentinel) so the record always encodes: encoding/json
+// rejects Inf and NaN outright, which used to abort -bench-json on any
+// selection including such an experiment.
+func finiteMetrics(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 func main() {
@@ -53,6 +71,13 @@ func main() {
 			strings.Join(phy.Names(), ", ")+" (default lora)")
 	benchJSON := flag.Bool("bench-json", false,
 		"emit per-experiment wall time and headline metrics as JSON instead of rendered text")
+	adaptive := flag.Bool("adaptive", true,
+		"sequential-stopping Monte-Carlo: stop a sweep point once its Wilson PER bound "+
+			"is tighter than -eps (bit-identical at any -workers; disable for full fixed budgets)")
+	eps := flag.Float64("eps", eval.DefaultEps,
+		"Wilson-interval half-width at which an -adaptive sweep point stops early "+
+			"(governs the scenario/coexistence/mobility PER sweeps; the fig10/fig11/fig12 "+
+			"sensitivity sweeps instead stop when the interval excludes their 10%/1e-3 threshold)")
 	flag.Parse()
 
 	if *list {
@@ -96,7 +121,10 @@ func main() {
 		}
 	}
 
-	cfg := eval.Config{Quick: *quick, Seed: *seed, Workers: *workers, Scenario: *scenarioSpec, PHY: *phyName}
+	cfg := eval.Config{
+		Quick: *quick, Seed: *seed, Workers: *workers, Scenario: *scenarioSpec, PHY: *phyName,
+		Adaptive: eval.Adaptive{Enabled: *adaptive, Eps: *eps},
+	}
 	var bench []benchEntry
 	for _, e := range selected {
 		if !*benchJSON {
@@ -113,7 +141,7 @@ func main() {
 				ID:      e.ID,
 				Title:   e.Title,
 				Millis:  float64(time.Since(start).Microseconds()) / 1e3,
-				Metrics: r.Metrics,
+				Metrics: finiteMetrics(r.Metrics),
 			})
 			continue
 		}
@@ -128,6 +156,8 @@ func main() {
 			"seed":        *seed,
 			"quick":       *quick,
 			"workers":     *workers,
+			"adaptive":    *adaptive,
+			"eps":         *eps,
 			"experiments": bench,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)

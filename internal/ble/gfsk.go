@@ -91,19 +91,19 @@ func (m *Modulator) ModulateBeacon(b Beacon, channel int) (iq.Samples, error) {
 
 // Demodulator is a quadrature-discriminator GFSK receiver — the
 // architecture of commercial BLE silicon like the CC2650 that Fig. 12
-// measures against. The chain is: channel-select low-pass, phase
-// differentiation, integrate-and-dump over each bit, threshold.
+// measures against. The chain is: channel-select low-pass fused with phase
+// differentiation (dsp.Discriminator), integrate-and-dump over each bit,
+// threshold.
 //
 // A Demodulator reuses internal scratch buffers across calls, so it is NOT
 // safe for concurrent use; give each goroutine its own instance.
 type Demodulator struct {
-	SPS    int
-	chFilt *dsp.FIR
+	SPS  int
+	disc *dsp.Discriminator
 
 	// Scratch arena, grown to the largest signal seen.
-	filt iq.Samples // channel-filtered signal
-	freq []float64  // instantaneous frequency track
-	bits []int      // candidate-bit scan buffer (Receive only)
+	freq []float64 // instantaneous frequency track
+	bits []int     // candidate-bit scan buffer (Receive only)
 }
 
 // NewDemodulator returns a receiver matching the modulator's oversampling.
@@ -113,28 +113,45 @@ func NewDemodulator(sps int) (*Demodulator, error) {
 	}
 	// Channel filter: ~1.1 MHz single-sided at the sample rate.
 	cutoff := 0.55 / float64(sps)
-	return &Demodulator{SPS: sps, chFilt: dsp.NewLowpass(4*sps+1, cutoff)}, nil
+	return &Demodulator{SPS: sps, disc: dsp.NewDiscriminator(dsp.NewLowpass(4*sps+1, cutoff))}, nil
+}
+
+// growFreq sizes the frequency-track scratch for a signal.
+func (d *Demodulator) growFreq(n int) []float64 {
+	if cap(d.freq) < n {
+		d.freq = make([]float64, n)
+	}
+	return d.freq[:n]
 }
 
 // discriminate computes the per-sample instantaneous frequency (radians per
 // sample) of the filtered signal into the demodulator's scratch, which
-// stays valid until the next discriminate call.
+// stays valid until the next discriminate/StreamBits call. The filter and
+// the phase differentiator run as one fused pass (dsp.Discriminator).
 func (d *Demodulator) discriminate(sig iq.Samples) []float64 {
-	if cap(d.filt) < len(sig) {
-		d.filt = make(iq.Samples, len(sig))
-		d.freq = make([]float64, len(sig))
+	return d.disc.DiscriminateInto(d.growFreq(len(sig)), sig)
+}
+
+// StreamReset begins incremental demodulation of a new signal for
+// StreamBits.
+func (d *Demodulator) StreamReset() { d.disc.Reset() }
+
+// StreamBits recovers bit decisions [from, from+nbits) of sig, where bit
+// 0's samples begin at startOffset, extending the cached frequency track
+// only as far as the requested bits need. Successive calls on the same
+// signal after one StreamReset reuse the already-discriminated prefix, so a
+// sequential-stopping BER sweep pays only for the bits it inspects — and
+// the decisions are identical to a full DemodBits pass over the same
+// signal. dst is truncated and appended to; with a capacity-sized dst the
+// call performs no allocation.
+func (d *Demodulator) StreamBits(dst []int, sig iq.Samples, startOffset, from, nbits int) []int {
+	need := startOffset + (from+nbits)*d.SPS
+	if need > len(sig) {
+		need = len(sig)
 	}
-	filtered := d.chFilt.FilterInto(d.filt[:len(sig)], sig)
-	freq := d.freq[:len(sig)]
-	if len(freq) > 0 {
-		freq[0] = 0
-	}
-	for i := 1; i < len(filtered); i++ {
-		prev := filtered[i-1]
-		cur := filtered[i]
-		freq[i] = cmplx.Phase(cur * complex(real(prev), -imag(prev)))
-	}
-	return freq
+	freq := d.growFreq(len(sig))
+	d.disc.ExtendInto(freq, sig, need)
+	return d.sliceBits(dst, freq[:need], startOffset+from*d.SPS, nbits)
 }
 
 // sliceBits integrates and dumps nbits bit decisions from a frequency track

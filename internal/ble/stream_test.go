@@ -1,0 +1,78 @@
+package ble
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamBitsMatchesDemodBits pins the incremental demod contract the
+// adaptive BER sweep relies on: bit decisions recovered chunk by chunk
+// through StreamBits — at any chunk boundaries — are identical to one
+// DemodBits pass over the same signal, and the stream path performs no
+// allocation in steady state.
+func TestStreamBitsMatchesDemodBits(t *testing.T) {
+	const nbits = 400
+	mod, err := NewModulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demod, err := NewDemodulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]int, nbits)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	sig := mod.Modulate(bits)
+	pad := mod.SPS * 3 / 2
+
+	want := demod.DemodBits(sig, pad, nbits)
+	if len(want) != nbits {
+		t.Fatalf("DemodBits returned %d bits, want %d", len(want), nbits)
+	}
+	errs := 0
+	for i := range want {
+		if want[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs > 0 {
+		t.Fatalf("clean-channel demod has %d bit errors", errs)
+	}
+
+	for _, chunk := range []int{1, 7, 100, nbits} {
+		demod.StreamReset()
+		dst := make([]int, 0, chunk)
+		pos := 0
+		for pos < nbits {
+			c := chunk
+			if pos+c > nbits {
+				c = nbits - pos
+			}
+			got := demod.StreamBits(dst, sig, pad, pos, c)
+			if len(got) != c {
+				t.Fatalf("chunk %d at %d: %d bits, want %d", chunk, pos, len(got), c)
+			}
+			for i, b := range got {
+				if b != want[pos+i] {
+					t.Fatalf("chunk %d: bit %d = %d, want %d", chunk, pos+i, b, want[pos+i])
+				}
+			}
+			pos += c
+		}
+	}
+
+	// Steady state: one warm signal, per-bit streaming allocates nothing.
+	one := make([]int, 0, 1)
+	demod.StreamReset()
+	demod.StreamBits(one, sig, pad, 0, 1)
+	k := 1
+	if n := testing.AllocsPerRun(50, func() {
+		demod.StreamBits(one, sig, pad, k, 1)
+		k++
+	}); n != 0 {
+		t.Errorf("StreamBits allocates %.0f times per bit, want 0", n)
+	}
+}

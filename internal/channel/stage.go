@@ -54,10 +54,32 @@ func growScratch(buf iq.Samples, n int) iq.Samples {
 	return buf[:n]
 }
 
+// splitmixSource is a SplitMix64 rand.Source64: one word of state, so
+// Seed is a single store. Scenario.Reset reseeds every stage once per
+// trial, and math/rand's default source pays a 607-word expansion loop per
+// Seed — reseeding cost was half of the composed-scenario hot path
+// (Reset + ApplyInto + demod) before the swap. The draw machinery on top
+// (math/rand's ziggurat NormFloat64 etc.) is unchanged; only the
+// underlying uniform stream differs, so scenario Monte-Carlo draws are
+// re-randomized but remain a pure function of the stage's Reset seed.
+type splitmixSource struct{ s uint64 }
+
+func (m *splitmixSource) Seed(seed int64) { m.s = uint64(seed) }
+
+func (m *splitmixSource) Uint64() uint64 {
+	m.s += 0x9E3779B97F4A7C15
+	z := m.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (m *splitmixSource) Int63() int64 { return int64(m.Uint64() >> 1) }
+
 // seededRand returns a PRNG whose source can be cheaply re-seeded by Reset
 // without allocating.
 func seededRand() (*rand.Rand, rand.Source) {
-	src := rand.NewSource(0)
+	src := &splitmixSource{}
 	return rand.New(src), src
 }
 

@@ -76,7 +76,11 @@ func TestFlatFadingPreservesAveragePower(t *testing.T) {
 }
 
 func TestRicianKFactorConcentratesGain(t *testing.T) {
-	// With K → large the gain magnitude must concentrate near 1.
+	// With K → large the gain magnitude must concentrate near 1. The
+	// scatter rail at K=100 has σ ≈ 0.07, so the extremes of 2000 Gaussian
+	// draws land around 1 ± 4σ; the bounds leave tail headroom (a Rayleigh
+	// channel, the failure this test guards against, spans ≈ 0..2.5 over
+	// the same draws and blows far through them).
 	f := NewFlatFading(100)
 	var minMag, maxMag = math.Inf(1), math.Inf(-1)
 	for i := 0; i < 1000; i++ {
@@ -85,7 +89,7 @@ func TestRicianKFactorConcentratesGain(t *testing.T) {
 		minMag = math.Min(minMag, m)
 		maxMag = math.Max(maxMag, m)
 	}
-	if minMag < 0.7 || maxMag > 1.3 {
+	if minMag < 0.6 || maxMag > 1.4 {
 		t.Errorf("K=100 gain magnitude spans [%v, %v], want tight around 1", minMag, maxMag)
 	}
 }

@@ -181,3 +181,41 @@ func FoldBinsInto(dst, mags []float64) []float64 {
 func FoldBins(mags []float64, numChips int) []float64 {
 	return FoldBinsInto(make([]float64, numChips), mags)
 }
+
+// FoldPeakInto fuses MagnitudesInto, FoldBinsInto and the Symbol Detector's
+// peak scan into one pass over the FFT output x: it writes the folded
+// squared-magnitude decision bins into dst and returns the winning bin, its
+// power, and the total folded power (ties keep the lowest bin, matching
+// the sequential scan). len(dst) is the number of decision bins and must
+// divide len(x); dst must not alias x's storage. Each folded bin is the sum
+// of the two image magnitudes rounded exactly as the unfused
+// MagnitudesInto→FoldBinsInto pipeline rounds them, so the fusion is
+// bit-exact. It performs no allocation.
+func FoldPeakInto(dst []float64, x iq.Samples) (bin int, peak, sum float64) {
+	s := len(x)
+	nc := len(dst)
+	if nc == s {
+		for i, v := range x {
+			m := real(v)*real(v) + imag(v)*imag(v)
+			dst[i] = m
+			sum += m
+			if m > peak {
+				peak, bin = m, i
+			}
+		}
+		return bin, peak, sum
+	}
+	base := s - nc // k's image bin k-N mod S never wraps for k < nc
+	for k := 0; k < nc; k++ {
+		v, u := x[k], x[base+k]
+		m0 := real(v)*real(v) + imag(v)*imag(v)
+		m1 := real(u)*real(u) + imag(u)*imag(u)
+		m := m0 + m1
+		dst[k] = m
+		sum += m
+		if m > peak {
+			peak, bin = m, k
+		}
+	}
+	return bin, peak, sum
+}

@@ -16,19 +16,25 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 
 	"github.com/uwsdr/tinysdr/internal/iq"
 )
 
 // FFTPlan holds the precomputed twiddle factors and bit-reversal
-// permutation for one transform size — the radix-2 datapath the FPGA's FFT
-// core instantiates per configuration. A plan is immutable after
-// construction and safe for concurrent use; Transform itself mutates only
-// its argument and performs no locking and no allocation.
+// permutation for one transform size — the FFT datapath the FPGA's core
+// instantiates per configuration. The butterfly ladder is radix-4 (three
+// complex multiplies per 4-point group instead of radix-2's four, ~25%
+// fewer) seeded by one multiply-free radix-2 stage when log2(n) is odd; it
+// runs directly on the standard base-2 bit-reversed ordering, so the
+// permutation table is shared with the fused dechirp entry point. A plan is
+// immutable after construction and safe for concurrent use; Transform
+// itself mutates only its argument and performs no locking and no
+// allocation.
 type FFTPlan struct {
 	n   int
-	w   []complex128 // n/2 twiddles e^{-2πik/n}
+	w   []complex128 // 3n/4 twiddles e^{-2πik/n} (radix-4 needs w^{3k})
 	rev []int32      // bit-reversal permutation, rev[i] < i entries swap
 }
 
@@ -40,7 +46,10 @@ func NewFFTPlan(n int) *FFTPlan {
 		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
 	}
 	p := &FFTPlan{n: n}
-	p.w = make([]complex128, n/2)
+	// The radix-4 butterflies reach twiddle index 3k < 3n/4; the table
+	// keeps the exact same e^{-2πik/n} values the radix-2 datapath used,
+	// just 3n/4 of them instead of n/2.
+	p.w = make([]complex128, 3*n/4)
 	for i := range p.w {
 		ang := -2 * math.Pi * float64(i) / float64(n)
 		p.w[i] = complex(math.Cos(ang), math.Sin(ang))
@@ -61,46 +70,110 @@ func NewFFTPlan(n int) *FFTPlan {
 // Size returns the transform size the plan was built for.
 func (p *FFTPlan) Size() int { return p.n }
 
-// Transform computes the in-place radix-2 decimation-in-time FFT of x.
+// butterflies runs the full DIT butterfly ladder over x, which must already
+// be in bit-reversed order: one multiply-free radix-2 seed stage when
+// log2(n) is odd, then radix-4 stages. With base-2 bit reversal the four
+// size-M sub-DFTs of a 4M block sit in decimation order A, C, B, D (phases
+// 0, 2, 1, 3 of the input interleave), which is what the twiddle assignment
+// below encodes.
+func (p *FFTPlan) butterflies(x iq.Samples) {
+	n := p.n
+	if n == 1 {
+		return
+	}
+	w := p.w
+	size := 1
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		for i := 0; i < n; i += 2 {
+			u, t := x[i], x[i+1]
+			x[i], x[i+1] = u+t, u-t
+		}
+		size = 2
+	}
+	for ; size < n; size *= 4 {
+		step := n / (size * 4)
+		for start := 0; start < n; start += size * 4 {
+			j1, j2, j3 := 0, 0, 0
+			for k := 0; k < size; k++ {
+				i0 := start + k
+				i1 := i0 + size
+				i2 := i1 + size
+				i3 := i2 + size
+				a := x[i0]
+				t2 := w[j2] * x[i1] // w^{2k} · C (phase-2 sub-DFT)
+				t1 := w[j1] * x[i2] // w^k · B (phase-1 sub-DFT)
+				t3 := w[j3] * x[i3] // w^{3k} · D (phase-3 sub-DFT)
+				ap, am := a+t2, a-t2
+				bp, bm := t1+t3, t1-t3
+				jb := complex(imag(bm), -real(bm)) // -j·(t1-t3), multiply-free
+				x[i0] = ap + bp
+				x[i1] = am + jb
+				x[i2] = ap - bp
+				x[i3] = am - jb
+				j1 += step
+				j2 += 2 * step
+				j3 += 3 * step
+			}
+		}
+	}
+}
+
+// Transform computes the in-place decimation-in-time FFT of x.
 // len(x) must equal the plan size. It performs no allocation.
 func (p *FFTPlan) Transform(x iq.Samples) {
 	n := p.n
 	if len(x) != n {
 		panic(fmt.Sprintf("dsp: FFT input length %d != plan size %d", len(x), n))
 	}
-	if n == 1 {
-		return
-	}
 	for i, r := range p.rev {
 		if int(r) > i {
 			x[i], x[r] = x[r], x[i]
 		}
 	}
-	w := p.w
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := n / size
-		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				t := w[k*step] * x[start+k+half]
-				u := x[start+k]
-				x[start+k] = u + t
-				x[start+k+half] = u - t
-			}
-		}
+	p.butterflies(x)
+}
+
+// DechirpTransformInto multiplies x by the conjugate of ref (the Complex
+// Multiplier block of the demodulator) while scattering the products into
+// dst in bit-reversed order, then runs the butterfly ladder on dst and
+// returns it. It fuses DechirpInto and Transform's separate permutation
+// pass into one walk over the window. All three slices must have the plan's
+// length; dst must not alias x or ref. It performs no allocation.
+func (p *FFTPlan) DechirpTransformInto(dst, x, ref iq.Samples) iq.Samples {
+	n := p.n
+	if len(x) != n || len(ref) != n {
+		panic(fmt.Sprintf("dsp: dechirp-transform length %d/%d != plan size %d", len(x), len(ref), n))
 	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: dechirp-transform dst length %d != plan size %d", len(dst), n))
+	}
+	for i, r := range p.rev {
+		v := ref[i]
+		dst[r] = x[i] * complex(real(v), -imag(v))
+	}
+	p.butterflies(dst)
+	return dst
 }
 
 // Inverse computes the in-place inverse FFT of x with 1/N normalization.
-// It performs no allocation.
+// The entry conjugation is fused into the bit-reversal pass and the exit
+// conjugation into the 1/N scale, so the inverse costs one pass more than
+// the forward transform rather than three. It performs no allocation.
 func (p *FFTPlan) Inverse(x iq.Samples) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("dsp: IFFT input length %d != plan size %d", len(x), p.n))
 	}
-	for i := range x {
-		x[i] = complex(real(x[i]), -imag(x[i]))
+	for i, r := range p.rev {
+		switch {
+		case int(r) > i:
+			xi, xr := x[i], x[r]
+			x[i] = complex(real(xr), -imag(xr))
+			x[r] = complex(real(xi), -imag(xi))
+		case int(r) == i:
+			x[i] = complex(real(x[i]), -imag(x[i]))
+		}
 	}
-	p.Transform(x)
+	p.butterflies(x)
 	inv := 1 / float64(p.n)
 	for i := range x {
 		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)

@@ -77,7 +77,10 @@ func (f *FIR) FilterInto(dst, x iq.Samples) iq.Samples {
 	}
 	delay := (len(f.taps) - 1) / 2
 	for i := 0; i < n; i++ {
-		var acc complex128
+		// Real taps: accumulate the I and Q rails separately so each tap
+		// costs two real multiplies instead of a full complex product.
+		// The per-rail sums round exactly as the complex accumulator did.
+		var re, im float64
 		// Clamp the tap range so the inner loop carries no bounds test.
 		kLo := i + delay - (n - 1)
 		if kLo < 0 {
@@ -88,9 +91,12 @@ func (f *FIR) FilterInto(dst, x iq.Samples) iq.Samples {
 			kHi = len(f.taps) - 1
 		}
 		for k := kLo; k <= kHi; k++ {
-			acc += x[i+delay-k] * complex(f.taps[k], 0)
+			v := x[i+delay-k]
+			t := f.taps[k]
+			re += real(v) * t
+			im += imag(v) * t
 		}
-		dst[i] = acc
+		dst[i] = complex(re, im)
 	}
 	return dst
 }

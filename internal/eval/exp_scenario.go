@@ -63,10 +63,13 @@ func newLinkState(name string) func() (*linkState, error) {
 	}
 }
 
-// linkPER binds the worker's Link to a scenario and measures PER over the
-// given packet count, with all channel randomness derived from (seed,
-// packet index).
-func (s *linkState) linkPER(sc *channel.Scenario, seed int64, packets int) (float64, error) {
+// linkPER binds the worker's Link to a scenario and measures PER over at
+// most packets trials, with all channel randomness derived from (seed,
+// packet index). The adaptive stopping rule, when enabled, ends the point
+// at the first chunk boundary whose Wilson bound is tighter than epsilon;
+// because every packet is a fixed function of (seed, index), the adaptive
+// measurement is an exact prefix of the full-budget one.
+func (s *linkState) linkPER(sc *channel.Scenario, seed int64, packets int, ad Adaptive) (float64, error) {
 	if s.link == nil {
 		link, err := phy.Open(s.modem, s.modem, sc, seed)
 		if err != nil {
@@ -76,11 +79,13 @@ func (s *linkState) linkPER(sc *channel.Scenario, seed int64, packets int) (floa
 	} else {
 		s.link.Rebind(sc, seed)
 	}
-	st, err := s.link.Run(coexPayload, packets)
+	failures, n, err := ad.run(packets, func(k int) (bool, error) {
+		return s.link.Probe(coexPayload, k)
+	})
 	if err != nil {
 		return 0, err
 	}
-	return st.PER, nil
+	return failRate(failures, n), nil
 }
 
 // coexVictim is the victim configuration of the coexistence sweep: the
@@ -170,7 +175,7 @@ func Coexistence(cfg Config) (*Result, error) {
 		pers, err := runTrials(cfg.Workers, len(powers), newCoexState,
 			func(s *linkState, i int) (float64, error) {
 				sc := buildScenario(wave, kind, powers[i], 0)
-				return s.linkPER(sc, TrialSeed(kindSeed(cfg.Seed, kind), i), packets)
+				return s.linkPER(sc, TrialSeed(kindSeed(cfg.Seed, kind), i), packets, cfg.Adaptive)
 			})
 		if err != nil {
 			return nil, err
@@ -195,7 +200,7 @@ func Coexistence(cfg Config) (*Result, error) {
 	offPers, err := runTrials(cfg.Workers, len(offsets), newCoexState,
 		func(s *linkState, i int) (float64, error) {
 			sc := buildScenario(waves["lora"], "lora", offPower, offsets[i])
-			return s.linkPER(sc, TrialSeed(cfg.Seed+977, i), packets)
+			return s.linkPER(sc, TrialSeed(cfg.Seed+977, i), packets, cfg.Adaptive)
 		})
 	if err != nil {
 		return nil, err
@@ -262,7 +267,7 @@ func Mobility(cfg Config) (*Result, error) {
 	pers, err := runTrials(cfg.Workers, len(speeds), newLinkState("lora"),
 		func(s *linkState, i int) (float64, error) {
 			sc := campus.LinkScenario(node, speeds[i], s.modem.SampleRate(), floor)
-			return s.linkPER(sc, TrialSeed(cfg.Seed+1543, i), packets)
+			return s.linkPER(sc, TrialSeed(cfg.Seed+1543, i), packets, cfg.Adaptive)
 		})
 	if err != nil {
 		return nil, err
@@ -351,7 +356,7 @@ func ScenarioPER(cfg Config) (*Result, error) {
 				if err != nil {
 					return 0, err
 				}
-				return s.linkPER(sc, TrialSeed(cfg.Seed+int64(ci)*131, i), packets)
+				return s.linkPER(sc, TrialSeed(cfg.Seed+int64(ci)*131, i), packets, cfg.Adaptive)
 			})
 		if err != nil {
 			return nil, err

@@ -159,6 +159,10 @@ type Config struct {
 	// experiments (the CLI's -phy flag): any registered phy.Names()
 	// entry. Empty selects "lora".
 	PHY string
+	// Adaptive configures the sequential-stopping Monte-Carlo mode of
+	// the PER/SER/BER sweeps (the CLI's -adaptive / -eps flags). The
+	// zero value keeps the historical fixed trial budgets.
+	Adaptive Adaptive
 }
 
 // Experiment is one regenerable table or figure.

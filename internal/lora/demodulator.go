@@ -26,8 +26,7 @@ type Demodulator struct {
 	plan   *dsp.FFTPlan
 
 	// Scratch arena, reused across windows.
-	de     iq.Samples // dechirped symbol, symLen
-	mags   []float64  // squared magnitudes, symLen
+	de     iq.Samples // dechirped symbol FFT, symLen
 	folded []float64  // folded decision bins, NumChips
 	filt   iq.Samples // FIR output, grown to the largest signal seen
 }
@@ -76,7 +75,6 @@ func NewDemodulator(p Params) (*Demodulator, error) {
 		symLen: gen.SymbolLen(),
 		plan:   dsp.NewFFTPlan(gen.SymbolLen()),
 		de:     make(iq.Samples, gen.SymbolLen()),
-		mags:   make([]float64, gen.SymbolLen()),
 		folded: make([]float64, p.NumChips()),
 	}
 	if p.OSR > 1 {
@@ -105,30 +103,24 @@ func (d *Demodulator) Filter(sig iq.Samples) iq.Samples {
 
 // demodWindow dechirps one symbol-length window against the upchirp
 // reference and returns the detected shift, its folded peak power, and the
-// mean folded bin power. It runs entirely in the scratch arena: zero heap
-// allocations per call.
+// mean folded bin power. The whole pipeline is two fused passes
+// (DechirpTransformInto, then FoldPeakInto) over the scratch arena: zero
+// heap allocations per call.
 func (d *Demodulator) demodWindow(w iq.Samples) (shift int, peak, mean float64) {
-	dsp.DechirpInto(d.de, w, d.up)
-	d.plan.Transform(d.de)
-	dsp.MagnitudesInto(d.mags, d.de)
-	folded := dsp.FoldBinsInto(d.folded, d.mags)
-	var sum float64
-	for k, p := range folded {
-		sum += p
-		if p > peak {
-			peak, shift = p, k
-		}
-	}
-	return shift, peak, sum / float64(len(folded))
+	d.plan.DechirpTransformInto(d.de, w, d.up)
+	shift, peak, sum := dsp.FoldPeakInto(d.folded, d.de)
+	return shift, peak, sum / float64(len(d.folded))
 }
 
 // downPeak dechirps a window against the downchirp reference, returning the
-// peak power — used for SFD detection (the up/down comparison of §4.1).
+// folded peak power — used for SFD detection (the up/down comparison of
+// §4.1). The fold makes the comparison symmetric with demodWindow's upchirp
+// peak: at OSR > 1 both candidates sum their two image bins instead of only
+// the upchirp side (the old PeakBin rescan read single unfolded bins).
 // Like demodWindow it runs in the scratch arena.
 func (d *Demodulator) downPeak(w iq.Samples) float64 {
-	dsp.DechirpInto(d.de, w, d.down)
-	d.plan.Transform(d.de)
-	_, p := dsp.PeakBin(d.de)
+	d.plan.DechirpTransformInto(d.de, w, d.down)
+	_, p, _ := dsp.FoldPeakInto(d.folded, d.de)
 	return p
 }
 

@@ -142,6 +142,22 @@ func (l *Link) transferCached(k int) (got []byte, rx iq.Samples, err error) {
 	return got, rx, nil
 }
 
+// Probe pushes packet index k of payload through the pipeline and reports
+// whether it was lost: a demodulation error or a recovered payload that
+// differs from the transmitted one counts as a loss, exactly as Run counts
+// failures. Because the channel draw is a fixed function of (seed, k), a
+// sequence of Probes for k = 0..n-1 reproduces the first n packets of
+// Run(payload, m) for any m >= n — the prefix property the adaptive
+// sequential-stopping sweeps rely on. A payload the TX modem cannot
+// modulate is returned as an error, not a loss.
+func (l *Link) Probe(payload []byte, k int) (lost bool, err error) {
+	if err := l.ensureWave(payload); err != nil {
+		return false, err
+	}
+	got, _, err := l.transferCached(k)
+	return err != nil || !bytes.Equal(got, l.lastPld), nil
+}
+
 // Run measures the link: the payload is sent packets times (packet indices
 // 0..packets-1, independent of any prior Sends), and the PER and mean
 // received power are returned. A packet counts as failed when demodulation
