@@ -12,6 +12,7 @@
 //	tinysdr-eval -run scenario -phy backscatter # any registered PHY as the victim
 //	tinysdr-eval -run all -adaptive=false       # full fixed trial budgets
 //	tinysdr-eval -run scenario -eps 0.05        # tighter sequential-stopping bound
+//	tinysdr-eval -run chaos -faults "crash=0.001,flashfail=0.02"  # chaos sweep
 //
 // Monte-Carlo sweeps fan out across all CPUs by default; -workers bounds
 // the pool, and sequential stopping (-adaptive, on by default) ends a
@@ -66,6 +67,11 @@ func main() {
 			"\"fading=rician:10,cfo=200,drift=20,interferer=lora:-110\" "+
 			"(terms: fading=rayleigh[:taps]|rician:KdB[:taps], cfo/cfojitter=Hz, "+
 			"drift=ppm, interferer=PHY:dBm[:freqHz] for any registered PHY, speed=m/s)")
+	faults := flag.String("faults", "",
+		"base fault spec for the 'chaos' experiment, e.g. "+
+			"\"crash=0.001,flashfail=0.01,desync=0.05:4\" "+
+			"(terms: crash/flashfail/bitrot/duty=P, desync/apoutage=P[:frames]; "+
+			"empty selects the default mix; the sweep scales it across intensities)")
 	phyName := flag.String("phy", "",
 		"victim protocol for the protocol-generic experiments; any of: "+
 			strings.Join(phy.Names(), ", ")+" (default lora)")
@@ -124,6 +130,7 @@ func main() {
 	cfg := eval.Config{
 		Quick: *quick, Seed: *seed, Workers: *workers, Scenario: *scenarioSpec, PHY: *phyName,
 		Adaptive: eval.Adaptive{Enabled: *adaptive, Eps: *eps},
+		Faults:   *faults,
 	}
 	var bench []benchEntry
 	for _, e := range selected {

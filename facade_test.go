@@ -7,6 +7,7 @@ package tinysdr
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -389,6 +390,39 @@ func TestFacadeFleetCampaign(t *testing.T) {
 	}
 	if tb := NewTestbedN(3, 7); len(tb.Nodes) != 7 {
 		t.Error("NewTestbedN size mismatch")
+	}
+}
+
+func TestFacadeChaosCampaign(t *testing.T) {
+	// The fault grammar round-trips through the facade and a faulted
+	// quorum campaign completes with a classified taxonomy.
+	spec, err := ParseFaultSpec("crash=0.0005,flashfail=0.01,desync=0.03:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Enabled() {
+		t.Fatal("parsed fault spec injects nothing")
+	}
+	if plan := NewFaultPlan(spec, 1); plan == nil {
+		t.Fatal("no fault plan")
+	}
+	res, err := RunFleetCampaignContext(context.Background(), FleetSpec{
+		Seed: 3, Nodes: 20, Mode: FleetBroadcast, ImageKB: 8,
+		Faults: spec.String(), Quorum: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QuorumMet {
+		t.Errorf("quorum not met: completion %.2f", res.CompletionFrac)
+	}
+	for _, n := range res.Nodes {
+		if n.Err != "" && n.Class == "" {
+			t.Errorf("node %d failed without a failure class: %s", n.ID, n.Err)
+		}
+	}
+	if st := NewDropoutStage(1, 0); st.Name() != "dropout" {
+		t.Errorf("dropout stage name %q", st.Name())
 	}
 }
 

@@ -287,3 +287,108 @@ func TestStageLengthMismatchPanics(t *testing.T) {
 	}()
 	NewGain(-50).ApplyInto(make(iq.Samples, 3), make(iq.Samples, 4))
 }
+
+func TestDropoutAttenuatesWindow(t *testing.T) {
+	d := NewDropout(1, 40) // always drops
+	d.Reset(3)
+	if !d.Active() {
+		t.Fatal("prob 1 dropout inactive")
+	}
+	sig := tone(4096, 0.1)
+	out := d.ApplyInto(make(iq.Samples, len(sig)), sig)
+	want := math.Pow(10, -40.0/20)
+	deep, clean := 0, 0
+	for i := range out {
+		ratio := cmplx.Abs(out[i])
+		switch {
+		case math.Abs(ratio-want) < 1e-9:
+			deep++
+		case math.Abs(ratio-1) < 1e-9:
+			clean++
+		default:
+			t.Fatalf("sample %d gain %v is neither unity nor -40 dB", i, ratio)
+		}
+	}
+	// Window extent is drawn in [10%, 60%] of the record.
+	if deep < len(out)/10 || deep > len(out)*6/10 {
+		t.Errorf("dropout covers %d of %d samples, want 10%%..60%%", deep, len(out))
+	}
+	if deep+clean != len(out) {
+		t.Error("window accounting does not cover the record")
+	}
+}
+
+func TestDropoutDeterministicAndLengthFree(t *testing.T) {
+	// The window is drawn as record fractions at Reset: the same seed must
+	// place it proportionally in records of different length.
+	d := NewDropout(1, 0)
+	if d.DepthDB != DefaultDropoutDepthDB {
+		t.Fatalf("default depth = %v", d.DepthDB)
+	}
+	cover := func(n int) (lo, hi int) {
+		d.Reset(7)
+		sig := make(iq.Samples, n)
+		for i := range sig {
+			sig[i] = 1
+		}
+		out := d.ApplyInto(make(iq.Samples, n), sig)
+		lo, hi = -1, -1
+		for i := range out {
+			if cmplx.Abs(out[i]) < 0.5 {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i + 1
+			}
+		}
+		return lo, hi
+	}
+	lo1, hi1 := cover(1000)
+	lo4, hi4 := cover(4000)
+	if lo4/4 != lo1 && lo4/4 != lo1-1 && lo4/4 != lo1+1 {
+		t.Errorf("window start %d at n=1000 vs %d at n=4000 not proportional", lo1, lo4)
+	}
+	if (hi4-lo4)/4-(hi1-lo1) > 1 || (hi1-lo1)-(hi4-lo4)/4 > 1 {
+		t.Errorf("window length %d vs %d/4 not proportional", hi1-lo1, hi4-lo4)
+	}
+	// And the same seed reproduces the identical window.
+	a0, a1 := cover(1000)
+	if a0 != lo1 || a1 != hi1 {
+		t.Error("same seed drew a different window")
+	}
+}
+
+func TestDropoutActivationTracksProbability(t *testing.T) {
+	d := NewDropout(0.3, 0)
+	hits := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		d.Reset(int64(i))
+		if d.Active() {
+			hits++
+		}
+	}
+	if rate := float64(hits) / trials; math.Abs(rate-0.3) > 0.03 {
+		t.Errorf("activation rate %.3f, want 0.3±0.03", rate)
+	}
+}
+
+func TestDropoutInactivePassThrough(t *testing.T) {
+	d := NewDropout(0, 0) // never drops
+	d.Reset(1)
+	sig := tone(256, 0.1)
+	out := d.ApplyInto(make(iq.Samples, len(sig)), sig)
+	for i := range out {
+		if out[i] != sig[i] {
+			t.Fatal("inactive dropout altered the signal")
+		}
+	}
+	// Aliased application must be safe.
+	buf := append(iq.Samples(nil), sig...)
+	d.ApplyInto(buf, buf)
+	for i := range buf {
+		if buf[i] != sig[i] {
+			t.Fatal("aliased inactive dropout altered the signal")
+		}
+	}
+}

@@ -163,6 +163,10 @@ type Config struct {
 	// the PER/SER/BER sweeps (the CLI's -adaptive / -eps flags). The
 	// zero value keeps the historical fixed trial budgets.
 	Adaptive Adaptive
+	// Faults is the base fault spec for the "chaos" experiment, in the
+	// internal/fault grammar (the CLI's -faults flag). Empty selects the
+	// experiment's default mix; the sweep scales it across intensities.
+	Faults string
 }
 
 // Experiment is one regenerable table or figure.
@@ -202,6 +206,7 @@ func All() []Experiment {
 		{"scenario", "composed-scenario PER vs RSSI for any -phy victim (-scenario flag)", ScenarioPER},
 		{"ablation-broadcast", "ablation: sequential vs broadcast fleet programming (§7)", AblationBroadcast},
 		{"fleetscale", "fleet-scale campaigns: broadcast vs unicast across N (§7 at scale)", FleetScale},
+		{"chaos", "chaos: completion and repair overhead vs fault intensity (-faults flag)", Chaos},
 		{"ablation-packet", "ablation: OTA packet-size trade-off (§5.3 design point)", AblationPacketSize},
 		{"ablation-compression", "ablation: miniLZO vs raw OTA transfer (§3.4)", AblationCompression},
 		{"ablation-blocksize", "ablation: compression block size vs MCU SRAM (§3.4)", AblationBlockSize},

@@ -44,12 +44,27 @@ const (
 // node actually stages, not 8 MB per chip.
 type Flash struct {
 	sectors map[int][]byte
+	faults  WriteFaults
+}
+
+// WriteFaults injects program-time faults — the chaos harness's flash
+// seam (implemented by fault.NodeFaults). FaultWrite is consulted once per
+// Program call after NOR validation: a non-nil error fails the write with
+// the device untouched; a non-negative flipByte flips the given bit of the
+// stored copy (bit-rot), silently corrupting what was written without
+// touching the caller's buffer.
+type WriteFaults interface {
+	FaultWrite(addr int, data []byte) (flipByte, flipBit int, err error)
 }
 
 // New returns a flash chip in the erased state (all 0xFF), as shipped.
 func New() *Flash {
 	return &Flash{sectors: make(map[int][]byte)}
 }
+
+// SetWriteFaults installs (or, with nil, removes) the program-time fault
+// injector. Reads and erases are unaffected.
+func (f *Flash) SetWriteFaults(w WriteFaults) { f.faults = w }
 
 // sector returns the backing storage for one sector, materializing it in
 // the erased state on first touch.
@@ -120,10 +135,24 @@ func (f *Flash) Program(addr int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	return forSpans(addr, len(data), func(idx, in, off, span int) error {
+	flipByte, flipBit := -1, 0
+	if f.faults != nil {
+		if flipByte, flipBit, err = f.faults.FaultWrite(addr, data); err != nil {
+			return err
+		}
+	}
+	if err := forSpans(addr, len(data), func(idx, in, off, span int) error {
 		copy(f.sector(idx)[in:in+span], data[off:off+span])
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	// Bit-rot corrupts the stored copy only, never the caller's buffer.
+	if flipByte >= 0 && flipByte < len(data) {
+		at := addr + flipByte
+		f.sector(at / SectorSize)[at%SectorSize] ^= 1 << (flipBit & 7)
+	}
+	return nil
 }
 
 // Read copies n bytes starting at addr.

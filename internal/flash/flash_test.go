@@ -2,6 +2,7 @@ package flash
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 )
@@ -211,3 +212,68 @@ func TestSDCardSustainsIQStream(t *testing.T) {
 		t.Fatal("SPI mode cannot sustain the I/Q stream; contradicts §3.2.2")
 	}
 }
+
+// stubFaults scripts the WriteFaults hook for one Program call at a time.
+type stubFaults struct {
+	err      error
+	flipByte int
+	flipBit  int
+	calls    int
+}
+
+func (s *stubFaults) FaultWrite(addr int, data []byte) (int, int, error) {
+	s.calls++
+	return s.flipByte, s.flipBit, s.err
+}
+
+func TestWriteFaultsErrorLeavesFlashUntouched(t *testing.T) {
+	f := New()
+	stub := &stubFaults{err: errFault, flipByte: -1}
+	f.SetWriteFaults(stub)
+	if err := f.Program(0, []byte{0x12, 0x34}); err == nil {
+		t.Fatal("faulted program succeeded")
+	}
+	if stub.calls != 1 {
+		t.Fatalf("hook called %d times", stub.calls)
+	}
+	got, _ := f.Read(0, 2)
+	for i, b := range got {
+		if b != 0xFF {
+			t.Errorf("byte %d = %#x after failed write, want erased 0xFF", i, b)
+		}
+	}
+}
+
+func TestWriteFaultsBitFlipHitsStoredCopyOnly(t *testing.T) {
+	f := New()
+	f.SetWriteFaults(&stubFaults{flipByte: 1, flipBit: 3})
+	data := []byte{0xF0, 0xFF, 0xF0}
+	if err := f.Program(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if data[1] != 0xFF {
+		t.Fatal("bit-rot mutated the caller's buffer")
+	}
+	got, _ := f.Read(0, 3)
+	if got[1] != 0xFF^(1<<3) {
+		t.Errorf("stored byte 1 = %#x, want %#x", got[1], 0xFF^(1<<3))
+	}
+	if got[0] != 0xF0 || got[2] != 0xF0 {
+		t.Error("bit-rot spread beyond the flipped byte")
+	}
+}
+
+func TestWriteFaultsClearedHookPassesWrites(t *testing.T) {
+	f := New()
+	stub := &stubFaults{err: errFault, flipByte: -1}
+	f.SetWriteFaults(stub)
+	f.SetWriteFaults(nil)
+	if err := f.Program(0, []byte{0x55}); err != nil {
+		t.Fatalf("program after clearing hook: %v", err)
+	}
+	if stub.calls != 0 {
+		t.Error("cleared hook still consulted")
+	}
+}
+
+var errFault = errors.New("stub write fault")

@@ -13,9 +13,11 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"github.com/uwsdr/tinysdr/internal/fault"
 	"github.com/uwsdr/tinysdr/internal/fpga"
 	"github.com/uwsdr/tinysdr/internal/ota"
 	"github.com/uwsdr/tinysdr/internal/par"
@@ -72,7 +74,26 @@ type Spec struct {
 	// Workers bounds the host worker pool; 0 means all CPUs. Results are
 	// bit-identical for every value.
 	Workers int `json:"workers,omitempty"`
+
+	// Faults injects deterministic faults from the internal/fault grammar
+	// (e.g. "crash=0.02,flashfail=0.01,desync=0.05:4"). A non-empty spec
+	// switches broadcast cells onto the self-healing campaign protocol
+	// (multi-round NACK repair, backoff, retry budgets); empty keeps the
+	// historical single-pass protocol byte-identical.
+	Faults string `json:"faults,omitempty"`
+	// Quorum is the node-completion fraction at which the campaign counts
+	// as met; 0 means all-or-nothing (every node must program). With a
+	// quorum below 1 a chaos campaign degrades gracefully instead of
+	// aborting.
+	Quorum float64 `json:"quorum,omitempty"`
+	// RetryBudget caps per-node repair transmissions in the self-healing
+	// protocol; 0 means the protocol default. Setting it (like Faults)
+	// selects the self-healing protocol for broadcast cells.
+	RetryBudget int `json:"retry_budget,omitempty"`
 }
+
+// healing reports whether broadcast cells run the self-healing protocol.
+func (s Spec) healing() bool { return s.Faults != "" || s.RetryBudget != 0 }
 
 // normalize fills defaults and validates, returning the runnable spec.
 func (s Spec) normalize() (Spec, error) {
@@ -108,6 +129,18 @@ func (s Spec) normalize() (Spec, error) {
 	// via overflow, negative-length) images.
 	if s.ImageKB < 1 || s.ImageKB > MaxImageKB {
 		return s, fmt.Errorf("fleet: image size %d kB outside [1, %d]", s.ImageKB, MaxImageKB)
+	}
+	if _, err := fault.Parse(s.Faults); err != nil {
+		return s, err
+	}
+	if s.Quorum < 0 || s.Quorum > 1 {
+		return s, fmt.Errorf("fleet: quorum %g outside [0, 1]", s.Quorum)
+	}
+	if s.RetryBudget < 0 {
+		return s, fmt.Errorf("fleet: retry budget %d", s.RetryBudget)
+	}
+	if s.healing() && s.Mode != ModeBroadcast {
+		return s, fmt.Errorf("fleet: fault injection and retry budgets need mode %q", ModeBroadcast)
 	}
 	return s, nil
 }
@@ -147,6 +180,13 @@ type NodeResult struct {
 	Retries int `json:"retries"`
 	// Err is the node's failure, empty on success.
 	Err string `json:"error,omitempty"`
+	// Class is the failure taxonomy for Err (ota.FailureClass): crashed,
+	// flash-fault, unreachable, exhausted-retries or protocol.
+	Class string `json:"failure_class,omitempty"`
+	// Crashes and FlashFaults count the injected faults this node
+	// absorbed (chaos campaigns only).
+	Crashes     int `json:"crashes,omitempty"`
+	FlashFaults int `json:"flash_faults,omitempty"`
 }
 
 // Result is a completed campaign.
@@ -165,6 +205,17 @@ type Result struct {
 	DataPackets int `json:"data_packets"`
 	// Failed is the number of nodes that could not be programmed.
 	Failed int `json:"failed"`
+	// Completed is the number of fully programmed nodes; CompletionFrac
+	// is Completed over the fleet size.
+	Completed      int     `json:"completed"`
+	CompletionFrac float64 `json:"completion_frac"`
+	// QuorumMet reports whether CompletionFrac reached the spec's quorum
+	// (all-or-nothing when Spec.Quorum is 0) — the campaign-level
+	// success criterion under faults.
+	QuorumMet bool `json:"quorum_met"`
+	// Failures counts failed nodes by taxonomy class (empty when every
+	// node programmed).
+	Failures map[string]int `json:"failures,omitempty"`
 	// Nodes holds every node's outcome in global ID order.
 	Nodes []NodeResult `json:"nodes"`
 }
@@ -182,6 +233,13 @@ type shardResult struct {
 // fan out across the par pool with positional results, so the outcome is
 // bit-identical for any Workers value.
 func Run(spec Spec) (*Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: a canceled context aborts the
+// campaign between shards and between self-healing repair rounds, so a
+// hung or heavily-faulted campaign cannot run away from its controller.
+func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 	spec, err := spec.normalize()
 	if err != nil {
 		return nil, err
@@ -201,11 +259,14 @@ func Run(spec Spec) (*Result, error) {
 		innerWorkers = par.ResolveWorkers(spec.Workers)
 	}
 	outs, err := par.Do(par.ResolveWorkers(spec.Workers), shards, func(s int) (shardResult, error) {
+		if err := ctx.Err(); err != nil {
+			return shardResult{}, fmt.Errorf("fleet: campaign canceled: %w", err)
+		}
 		size := spec.ShardSize
 		if s == shards-1 {
 			size = spec.Nodes - s*spec.ShardSize
 		}
-		return runShard(spec, u, design, s, size, innerWorkers)
+		return runShard(ctx, spec, u, design, s, size, innerWorkers)
 	})
 	if err != nil {
 		return nil, err
@@ -223,8 +284,19 @@ func Run(spec Spec) (*Result, error) {
 	for _, n := range res.Nodes {
 		if n.Err != "" {
 			res.Failed++
+			if res.Failures == nil {
+				res.Failures = map[string]int{}
+			}
+			res.Failures[n.Class]++
 		}
 	}
+	res.Completed = len(res.Nodes) - res.Failed
+	res.CompletionFrac = float64(res.Completed) / float64(len(res.Nodes))
+	quorum := spec.Quorum
+	if quorum == 0 {
+		quorum = 1
+	}
+	res.QuorumMet = res.CompletionFrac >= quorum
 	return res, nil
 }
 
@@ -235,10 +307,17 @@ func shardSeeds(seed int64, shard int) (campusSeed, protoSeed int64) {
 	return par.SplitSeed(seed, int64(2*shard)), par.SplitSeed(seed, int64(2*shard+1))
 }
 
+// faultSeed derives a cell's fault-plan stream, decorrelated from the
+// geometry and protocol streams of shardSeeds (which use streams 2s and
+// 2s+1; the 1<<20 offset clears them for any shard count).
+func faultSeed(seed int64, shard int) int64 {
+	return par.SplitSeed(seed, int64(1<<20)+int64(shard))
+}
+
 // runShard programs one AP cell. workers sizes the host pool for the cell's
 // unicast sessions (simulated time is unaffected: the AP's schedule is
 // sequential on each node's own clock either way).
-func runShard(spec Spec, u *ota.Update, design *fpga.Design, shard, size, workers int) (shardResult, error) {
+func runShard(ctx context.Context, spec Spec, u *ota.Update, design *fpga.Design, shard, size, workers int) (shardResult, error) {
 	campusSeed, protoSeed := shardSeeds(spec.Seed, shard)
 	campus := testbed.NewCampusN(campusSeed, size)
 	base := shard * spec.ShardSize
@@ -260,6 +339,9 @@ func runShard(spec Spec, u *ota.Update, design *fpga.Design, shard, size, worker
 			}
 			if r.Err != nil {
 				nr.Err = r.Err.Error()
+				// A unicast session only fails by running out of link
+				// retries: the node never completed an exchange.
+				nr.Class = string(ota.FailUnreachable)
 			} else {
 				nr.Retries = r.Report.Retransmissions
 				out.air += r.Report.AirBytes
@@ -276,7 +358,28 @@ func runShard(spec Spec, u *ota.Update, design *fpga.Design, shard, size, worker
 			targets[i] = ota.BroadcastTarget{Node: n.OTA, RSSIdBm: campus.RSSI(n)}
 		}
 		sess := ota.NewBroadcastSession(targets, protoSeed)
-		rep, err := sess.ProgramFleet(u, design)
+		var rep *ota.BroadcastReport
+		var err error
+		if spec.healing() {
+			// Chaos / self-healing path: the fault plan and the NACK-driven
+			// repair protocol. Faults may be empty (budget-only specs run
+			// the healing protocol with a nil plan).
+			var plan *fault.Plan
+			if spec.Faults != "" {
+				fspec, ferr := fault.Parse(spec.Faults)
+				if ferr != nil {
+					return out, ferr
+				}
+				plan = fault.NewPlan(fspec, faultSeed(spec.Seed, shard))
+			}
+			rep, err = sess.ProgramFleetHealing(u, design, ota.HealConfig{
+				Plan:        plan,
+				RetryBudget: spec.RetryBudget,
+				Canceled:    func() bool { return ctx.Err() != nil },
+			})
+		} else {
+			rep, err = sess.ProgramFleet(u, design)
+		}
 		if err != nil {
 			return out, fmt.Errorf("fleet: shard %d: %w", shard, err)
 		}
@@ -293,7 +396,10 @@ func runShard(spec Spec, u *ota.Update, design *fpga.Design, shard, size, worker
 			}
 			if p.Err != nil {
 				nr.Err = p.Err.Error()
+				nr.Class = string(p.Class)
 			}
+			nr.Crashes = p.Crashes
+			nr.FlashFaults = p.FlashFaults
 			out.nodes = append(out.nodes, nr)
 		}
 	}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -13,10 +14,11 @@ type Status string
 
 // Campaign states.
 const (
-	StatusPending Status = "pending"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusPending  Status = "pending"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
 )
 
 // Campaign is one scheduled fleet rollout.
@@ -42,6 +44,7 @@ type Server struct {
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
 	done      map[string]chan struct{}
+	cancels   map[string]context.CancelFunc
 	nextID    int
 	// runSlot serializes campaign execution: each campaign already fans
 	// out across the whole worker pool, so queued campaigns wait in
@@ -54,6 +57,7 @@ func NewServer() *Server {
 	return &Server{
 		campaigns: make(map[string]*Campaign),
 		done:      make(map[string]chan struct{}),
+		cancels:   make(map[string]context.CancelFunc),
 		runSlot:   make(chan struct{}, 1),
 	}
 }
@@ -92,8 +96,10 @@ func (s *Server) Create(spec Spec) (*Campaign, error) {
 	s.nextID++
 	c := &Campaign{ID: fmt.Sprintf("c%d", s.nextID), Spec: norm, Status: StatusPending}
 	ch := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
 	s.campaigns[c.ID] = c
 	s.done[c.ID] = ch
+	s.cancels[c.ID] = cancel
 	snap := c.snapshot()
 	s.mu.Unlock()
 
@@ -101,14 +107,26 @@ func (s *Server) Create(spec Spec) (*Campaign, error) {
 		s.runSlot <- struct{}{}
 		defer func() { <-s.runSlot }()
 		s.mu.Lock()
+		if ctx.Err() != nil {
+			// Canceled while still pending in the queue: never runs.
+			c.Status = StatusCanceled
+			c.Error = "fleet: campaign canceled before it started"
+			s.mu.Unlock()
+			close(ch)
+			return
+		}
 		c.Status = StatusRunning
 		s.mu.Unlock()
-		res, err := Run(norm)
+		res, err := RunContext(ctx, norm)
 		s.mu.Lock()
-		if err != nil {
+		switch {
+		case err != nil && ctx.Err() != nil:
+			c.Status = StatusCanceled
+			c.Error = err.Error()
+		case err != nil:
 			c.Status = StatusFailed
 			c.Error = err.Error()
-		} else {
+		default:
 			c.Status = StatusDone
 			c.Result = res
 		}
@@ -116,6 +134,21 @@ func (s *Server) Create(spec Spec) (*Campaign, error) {
 		close(ch)
 	}()
 	return snap, nil
+}
+
+// Cancel requests a campaign's cancellation: a pending campaign never
+// starts, a running one aborts between shards and repair rounds, and a
+// terminal one is left untouched. It returns the campaign's snapshot after
+// the cancellation settles.
+func (s *Server) Cancel(id string) (*Campaign, error) {
+	s.mu.Lock()
+	cancel, ok := s.cancels[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown campaign %q", id)
+	}
+	cancel()
+	return s.Wait(context.Background(), id)
 }
 
 // Get returns a campaign's current snapshot.
@@ -129,15 +162,21 @@ func (s *Server) Get(id string) (*Campaign, bool) {
 	return c.snapshot(), true
 }
 
-// Wait blocks until the campaign reaches a terminal state and returns it.
-func (s *Server) Wait(id string) (*Campaign, error) {
+// Wait blocks until the campaign reaches a terminal state and returns it,
+// or until ctx is done (returning the context's error), so API callers can
+// bound how long they block on a queued or slow campaign.
+func (s *Server) Wait(ctx context.Context, id string) (*Campaign, error) {
 	s.mu.Lock()
 	ch, ok := s.done[id]
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("fleet: unknown campaign %q", id)
 	}
-	<-ch
+	select {
+	case <-ch:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("fleet: waiting for campaign %q: %w", id, ctx.Err())
+	}
 	c, _ := s.Get(id)
 	return c, nil
 }
@@ -159,10 +198,11 @@ func (s *Server) List() []*Campaign {
 
 // Handler returns the JSON API:
 //
-//	POST /campaigns        create a campaign from a Spec body
-//	GET  /campaigns        list campaign summaries
-//	GET  /campaigns/{id}   one campaign's status and summary
-//	GET  /campaigns/{id}/nodes  the per-node results (once done)
+//	POST   /campaigns        create a campaign from a Spec body
+//	GET    /campaigns        list campaign summaries
+//	GET    /campaigns/{id}   one campaign's status and summary
+//	GET    /campaigns/{id}/nodes  the per-node results (once done)
+//	DELETE /campaigns/{id}   cancel a pending or running campaign
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
@@ -185,6 +225,14 @@ func (s *Server) Handler() http.Handler {
 		c, ok := s.Get(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown campaign %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, c.summary())
+	})
+	mux.HandleFunc("DELETE /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, c.summary())

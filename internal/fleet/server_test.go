@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -53,7 +54,7 @@ func runCampaignOverHTTP(t *testing.T, srv *Server, spec Spec) []byte {
 	if c.ID == "" || (c.Status != StatusPending && c.Status != StatusRunning) {
 		t.Fatalf("created campaign %+v", c)
 	}
-	if _, err := srv.Wait(c.ID); err != nil {
+	if _, err := srv.Wait(context.Background(), c.ID); err != nil {
 		t.Fatal(err)
 	}
 
@@ -148,7 +149,7 @@ func TestHTTPList(t *testing.T) {
 		ids = append(ids, c.ID)
 	}
 	for _, id := range ids {
-		if _, err := srv.Wait(id); err != nil {
+		if _, err := srv.Wait(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -169,5 +170,100 @@ func TestHTTPList(t *testing.T) {
 		if c.Result != nil && c.Result.Nodes != nil {
 			t.Error("listing must not carry per-node payloads")
 		}
+	}
+}
+
+func TestHTTPCancelQueuedCampaign(t *testing.T) {
+	// The run slot serializes campaigns, so a second POST while the first
+	// runs sits in StatusPending — canceling it must settle as canceled
+	// without ever running, and the first campaign must finish untouched.
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := postCampaign(t, ts, Spec{Seed: 1, Nodes: 200, Mode: ModeBroadcast, ImageKB: 8})
+	second := postCampaign(t, ts, Spec{Seed: 2, Nodes: 200, Mode: ModeBroadcast, ImageKB: 8})
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/"+second.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Campaign
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if got.Status != StatusCanceled && got.Status != StatusDone {
+		t.Fatalf("canceled campaign status %s (%s)", got.Status, got.Error)
+	}
+
+	done, err := srv.Wait(context.Background(), first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusDone {
+		t.Errorf("first campaign status %s (%s)", done.Status, done.Error)
+	}
+}
+
+func TestHTTPCancelUnknownCampaign(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/c42", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown: status %d", resp.StatusCode)
+	}
+}
+
+func TestCancelAfterDoneLeavesResult(t *testing.T) {
+	srv := NewServer()
+	c, err := srv.Create(Spec{Seed: 3, Nodes: 4, ShardSize: 4, ImageKB: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Wait(context.Background(), c.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Cancel(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || got.Result == nil {
+		t.Errorf("terminal campaign mutated by cancel: %s", got.Status)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	srv := NewServer()
+	// Hold the run slot so the waited-on campaign never finishes.
+	blocker, err := srv.Create(Spec{Seed: 4, Nodes: 400, Mode: ModeBroadcast, ImageKB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := srv.Create(Spec{Seed: 5, Nodes: 400, Mode: ModeBroadcast, ImageKB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Wait(ctx, queued.ID); err == nil {
+		t.Error("Wait returned without the campaign finishing")
+	}
+	// Drain so the test does not leak the running goroutine.
+	if _, err := srv.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Wait(context.Background(), blocker.ID); err != nil {
+		t.Fatal(err)
 	}
 }

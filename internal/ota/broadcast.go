@@ -61,6 +61,33 @@ func NewBroadcastSession(targets []BroadcastTarget, seed int64) *BroadcastSessio
 	}
 }
 
+// FailureClass is the per-node failure taxonomy: why a node could not be
+// programmed. It separates "never reachable" (the announce never landed
+// and nothing was delivered) from "failed after repairs" (the node took
+// data but the repair budget or rounds ran out) — two outcomes a testbed
+// operator triages very differently — plus the chaos-harness classes.
+type FailureClass string
+
+// Failure classes.
+const (
+	// FailNone marks a successfully programmed node.
+	FailNone FailureClass = ""
+	// FailUnreachable: the node never entered the transfer — no announce
+	// completed and no data was delivered.
+	FailUnreachable FailureClass = "unreachable"
+	// FailExhausted: the node took data but exhausted its repair rounds
+	// or retry budget before completing — failed after repairs.
+	FailExhausted FailureClass = "exhausted-retries"
+	// FailCrashed: the node ended the campaign in a crashed/rebooted
+	// state with its update state lost.
+	FailCrashed FailureClass = "crashed"
+	// FailFlash: flash write failures or bit-rot corrupted the transfer
+	// (including decompress failures at finish).
+	FailFlash FailureClass = "flash-fault"
+	// FailProtocol: a non-fault protocol error (bad frame, bad state).
+	FailProtocol FailureClass = "protocol"
+)
+
 // BroadcastNodeResult is one node's outcome in a fleet broadcast. Failures
 // are per node, matching testbed.ProgramResult: one unreachable node does
 // not abort the rest of the fleet.
@@ -77,6 +104,12 @@ type BroadcastNodeResult struct {
 	Stats DecompressStats
 	// Err is the node's failure, nil on success.
 	Err error
+	// Class is the failure taxonomy for Err (FailNone on success).
+	Class FailureClass
+	// Crashes and FlashFaults count the injected faults this node
+	// absorbed (healing campaigns only; zero elsewhere).
+	Crashes     int
+	FlashFaults int
 }
 
 // BroadcastReport summarizes a fleet broadcast.
@@ -108,6 +141,22 @@ func (r *BroadcastReport) Failed() int {
 	}
 	return n
 }
+
+// FailedByClass breaks the failure count down by taxonomy class, so
+// "never reachable" no longer collapses into the same number as "failed
+// after repairs".
+func (r *BroadcastReport) FailedByClass() map[FailureClass]int {
+	out := map[FailureClass]int{}
+	for _, p := range r.PerNode {
+		if p.Err != nil {
+			out[p.Class]++
+		}
+	}
+	return out
+}
+
+// Completed returns the number of successfully programmed nodes.
+func (r *BroadcastReport) Completed() int { return len(r.PerNode) - r.Failed() }
 
 func (s *BroadcastSession) lost(rssi float64, payloadLen int) bool {
 	per := lora.PacketErrorRate(s.PHY, payloadLen, rssi, radio.SX1276NoiseFigureDB)
@@ -143,9 +192,10 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 		rep.PerNode[i].NodeID = t.Node.ID
 		starts[i] = t.Node.Clock.Now()
 	}
-	fail := func(i int, err error) {
+	fail := func(i int, err error, class FailureClass) {
 		if rep.PerNode[i].Err == nil {
 			rep.PerNode[i].Err = err
+			rep.PerNode[i].Class = class
 		}
 	}
 
@@ -162,13 +212,14 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 	for i, t := range s.Targets {
 		d, err := t.Node.Backbone.Transition(radio.StateRX)
 		if err != nil {
-			fail(i, err)
+			// The node never entered the transfer: never reachable.
+			fail(i, err, FailUnreachable)
 		} else {
 			s.advanceAll(d)
 			t.Node.MCU.SetState(mcu.StateIdle)
 			req := &Frame{Type: FrameProgramRequest, Device: t.Node.ID, Payload: mb}
 			if _, err := t.Node.HandleProgramRequest(req); err != nil {
-				fail(i, err)
+				fail(i, err, FailUnreachable)
 			}
 		}
 		// The AP spends the request/ready airtime whether or not the node
@@ -199,7 +250,7 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 				continue
 			}
 			if _, err := t.Node.HandleData(data); err != nil {
-				fail(i, err)
+				fail(i, err, FailProtocol)
 			}
 		}
 	}
@@ -215,7 +266,9 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 		gaps := sortedKeys(missing[i])
 		for round := 0; len(gaps) > 0; round++ {
 			if round >= s.MaxRepairRounds {
-				fail(i, fmt.Errorf("ota: node %d unreachable after %d repair rounds", t.Node.ID, round))
+				// The node did take broadcast data; it failed after
+				// repairs, which is not the same as never reachable.
+				fail(i, fmt.Errorf("ota: node %d not repaired after %d rounds", t.Node.ID, round), FailExhausted)
 				break
 			}
 			var still []int
@@ -233,7 +286,7 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 				// unicast exchange semantics.
 				f := &Frame{Type: FrameData, Device: t.Node.ID, Seq: uint16(seq), Payload: u.Chunks[seq]}
 				if _, err := t.Node.HandleData(f); err != nil {
-					fail(i, err)
+					fail(i, err, FailProtocol)
 					still = nil
 					break
 				}
@@ -256,7 +309,7 @@ func (s *BroadcastSession) ProgramFleet(u *Update, design *fpga.Design) (*Broadc
 		}
 		stats, err := t.Node.Finish(design)
 		if err != nil {
-			fail(i, err)
+			fail(i, err, FailProtocol)
 		} else {
 			rep.PerNode[i].Stats = stats
 		}

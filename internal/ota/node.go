@@ -103,6 +103,38 @@ func (n *Node) HandleData(f *Frame) (*Frame, error) {
 	return &Frame{Type: FrameAck, Device: n.ID, Seq: f.Seq}, nil
 }
 
+// Reboot models a node crash: the device restarts with all in-progress
+// update state lost (the staging flash keeps its bytes, but the node no
+// longer knows a transfer was underway and must be re-announced). The
+// chaos harness calls it when the fault plan crashes a node mid-campaign.
+func (n *Node) Reboot() {
+	n.manifest = nil
+	n.received = nil
+	n.haveAll = false
+	n.updateBusy = false
+	n.MCU.SetState(mcu.StateIdle)
+}
+
+// InUpdate reports whether the node is inside an announced transfer.
+func (n *Node) InUpdate() bool { return n.updateBusy }
+
+// Missing returns the chunk sequence numbers the node has not received, in
+// ascending order — the NACK bitmap the self-healing repair protocol polls
+// for. A node outside an update reports nil (it needs re-announce, not
+// repair).
+func (n *Node) Missing() []int {
+	if !n.updateBusy || n.received == nil {
+		return nil
+	}
+	var out []int
+	for seq, ok := range n.received {
+		if !ok {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
 // Complete reports whether every chunk has been received.
 func (n *Node) Complete() bool {
 	if n.received == nil {

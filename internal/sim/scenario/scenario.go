@@ -167,6 +167,11 @@ type Spec struct {
 	InterfererDBm    float64
 	InterfererFreqHz float64
 
+	// DropoutProb is the per-trial probability of an RX dropout burst;
+	// DropoutDepthDB its attenuation (0 means the stage default).
+	DropoutProb    float64
+	DropoutDepthDB float64
+
 	// SpeedMPS selects a mobile trajectory: Doppler on the CFO stage and
 	// per-packet path-loss ramping through Link.PathModel.
 	SpeedMPS float64
@@ -181,6 +186,7 @@ type Spec struct {
 //	fading=rayleigh[:taps] | fading=rician:KdB[:taps]
 //	cfo=HZ  cfojitter=HZ  drift=PPM
 //	interferer=KIND:DBM[:FREQHZ]   (KIND: any registered PHY — phy.Names())
+//	dropout=PROB[:DEPTHDB]
 //	speed=MPS  mobile
 //
 // e.g. "fading=rician:10,cfo=200,drift=20,interferer=lora:-110".
@@ -260,6 +266,22 @@ func Parse(s string) (*Spec, error) {
 			if spec.InterfererDBm, err = num(1); err == nil && len(args) > 2 {
 				spec.InterfererFreqHz, err = num(2)
 			}
+		case "dropout":
+			if err = atMost(2); err != nil {
+				break
+			}
+			if spec.DropoutProb, err = num(0); err != nil {
+				break
+			}
+			if spec.DropoutProb < 0 || spec.DropoutProb > 1 {
+				err = fmt.Errorf("sim: dropout probability %g outside [0, 1]", spec.DropoutProb)
+				break
+			}
+			if len(args) > 1 {
+				if spec.DropoutDepthDB, err = num(1); err == nil && spec.DropoutDepthDB <= 0 {
+					err = fmt.Errorf("sim: dropout depth %g dB must be positive", spec.DropoutDepthDB)
+				}
+			}
 		case "speed":
 			if err = atMost(1); err == nil {
 				spec.SpeedMPS, err = num(0)
@@ -302,6 +324,13 @@ func (s *Spec) String() string {
 	}
 	if s.Interferer != "" {
 		parts = append(parts, fmt.Sprintf("interferer=%s:%g:%g", s.Interferer, s.InterfererDBm, s.InterfererFreqHz))
+	}
+	if s.DropoutProb != 0 {
+		if s.DropoutDepthDB != 0 {
+			parts = append(parts, fmt.Sprintf("dropout=%g:%g", s.DropoutProb, s.DropoutDepthDB))
+		} else {
+			parts = append(parts, fmt.Sprintf("dropout=%g", s.DropoutProb))
+		}
 	}
 	if s.SpeedMPS != 0 {
 		parts = append(parts, fmt.Sprintf("speed=%g", s.SpeedMPS))
@@ -374,6 +403,12 @@ func (s *Spec) Build(link Link) (*channel.Scenario, error) {
 		it.FreqOffsetHz = s.InterfererFreqHz
 		it.SampleRate = link.SampleRate
 		stages = append(stages, it)
+	}
+
+	if s.DropoutProb > 0 {
+		// After the signal path, before the receiver noise: the signal
+		// vanishes during the burst but the noise floor persists.
+		stages = append(stages, channel.NewDropout(s.DropoutProb, s.DropoutDepthDB))
 	}
 
 	stages = append(stages, channel.NewNoise(link.FloorDBm))

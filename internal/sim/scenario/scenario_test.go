@@ -240,3 +240,60 @@ func TestDopplerSign(t *testing.T) {
 		t.Errorf("doppler at 30 m/s receding = %v Hz, want ≈-91.6", d)
 	}
 }
+
+func TestParseDropout(t *testing.T) {
+	spec, err := Parse("dropout=0.25:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.DropoutProb != 0.25 || spec.DropoutDepthDB != 30 {
+		t.Errorf("dropout = %+v", spec)
+	}
+	// Depth optional: the stage default applies downstream.
+	spec, err = Parse("dropout=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.DropoutProb != 0.1 || spec.DropoutDepthDB != 0 {
+		t.Errorf("dropout = %+v", spec)
+	}
+	for _, bad := range []string{
+		"dropout",          // no value
+		"dropout=2",        // probability out of range
+		"dropout=-0.1",     // negative
+		"dropout=0.1:0",    // zero depth must be spelled by omission
+		"dropout=0.1:-3",   // negative depth
+		"dropout=0.1:30:4", // trailing argument
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// Round trip through String, with and without the explicit depth.
+	for _, in := range []string{"dropout=0.25:30", "dropout=0.1", "fading=rayleigh:2,dropout=0.5:20"} {
+		spec, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(spec.String())
+		if err != nil || *back != *spec {
+			t.Errorf("round trip %q -> %q: %+v err %v", in, spec.String(), back, err)
+		}
+	}
+}
+
+func TestBuildComposesDropout(t *testing.T) {
+	spec, err := Parse("interferer=lora:-110,dropout=0.3:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.Build(Link{SampleRate: 125e3, RSSIdBm: -110, FloorDBm: -117})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the signal path, before receiver noise: the signal vanishes in
+	// the burst but the noise floor persists.
+	if want := "gain→interferer(lora)→dropout→noise"; sc.String() != want {
+		t.Errorf("composition = %q, want %q", sc.String(), want)
+	}
+}

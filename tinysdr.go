@@ -42,10 +42,13 @@
 package tinysdr
 
 import (
+	"context"
+
 	"github.com/uwsdr/tinysdr/internal/backscatter"
 	"github.com/uwsdr/tinysdr/internal/ble"
 	"github.com/uwsdr/tinysdr/internal/channel"
 	"github.com/uwsdr/tinysdr/internal/core"
+	"github.com/uwsdr/tinysdr/internal/fault"
 	"github.com/uwsdr/tinysdr/internal/fleet"
 	"github.com/uwsdr/tinysdr/internal/fpga"
 	"github.com/uwsdr/tinysdr/internal/iq"
@@ -237,6 +240,13 @@ func NewInterfererStage(kind string, waveform Samples, powerDBm float64, maxOffs
 
 // NewNoiseStage adds receiver noise at a fixed integrated floor.
 func NewNoiseStage(floorDBm float64) ChannelStage { return channel.NewNoise(floorDBm) }
+
+// NewDropoutStage models an RX desync / frame-loss burst: with the given
+// per-trial probability a contiguous window of the record is attenuated by
+// depthDB (0 selects the 40 dB default) while the noise floor persists —
+// the waveform-level counterpart of the fault engine's desync faults
+// (scenario grammar term dropout=P[:DEPTHDB]).
+func NewDropoutStage(prob, depthDB float64) ChannelStage { return channel.NewDropout(prob, depthDB) }
 
 // ScenarioSpec is a parsed composed-channel description (the grammar of
 // tinysdr-eval's -scenario flag); Build turns it into a ChannelScenario
@@ -449,9 +459,54 @@ const (
 // bit-identical for any FleetSpec.Workers value.
 func RunFleetCampaign(spec FleetSpec) (*FleetResult, error) { return fleet.Run(spec) }
 
+// RunFleetCampaignContext is RunFleetCampaign with cancellation: a canceled
+// context aborts the campaign between shards and between self-healing
+// repair rounds.
+func RunFleetCampaignContext(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
+	return fleet.RunContext(ctx, spec)
+}
+
 // FleetServer schedules campaigns and serves their state over a JSON HTTP
 // API (see cmd/tinysdr-fleet).
 type FleetServer = fleet.Server
 
 // NewFleetServer returns an empty campaign scheduler.
 func NewFleetServer() *FleetServer { return fleet.NewServer() }
+
+// FaultSpec describes deterministic fault intensities for chaos campaigns:
+// node crash/reboot, flash write failures and bit-rot, RX desync bursts,
+// duty-cycle dropouts and AP outage windows. The zero value injects
+// nothing.
+type FaultSpec = fault.Spec
+
+// FaultPlan binds a FaultSpec to a seed: every fault is a pure function of
+// (seed, node, event index), so chaos campaigns are byte-identical at any
+// worker count.
+type FaultPlan = fault.Plan
+
+// ParseFaultSpec parses the compact fault grammar of tinysdr-eval's -faults
+// and FleetSpec.Faults, e.g. "crash=0.001,flashfail=0.01,desync=0.05:4".
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.Parse(s) }
+
+// NewFaultPlan binds a spec to a seed.
+func NewFaultPlan(spec FaultSpec, seed int64) *FaultPlan { return fault.NewPlan(spec, seed) }
+
+// OTAHealConfig tunes the self-healing broadcast campaign protocol:
+// fault plan, per-node retry budgets, repair-round and backoff caps, and a
+// cancellation hook. The zero value is runnable.
+type OTAHealConfig = ota.HealConfig
+
+// OTAFailureClass is the per-node failure taxonomy of a broadcast
+// campaign: unreachable, exhausted-retries, crashed, flash-fault or
+// protocol (empty on success).
+type OTAFailureClass = ota.FailureClass
+
+// Failure classes.
+const (
+	OTAFailNone        = ota.FailNone
+	OTAFailUnreachable = ota.FailUnreachable
+	OTAFailExhausted   = ota.FailExhausted
+	OTAFailCrashed     = ota.FailCrashed
+	OTAFailFlash       = ota.FailFlash
+	OTAFailProtocol    = ota.FailProtocol
+)
