@@ -1,0 +1,124 @@
+// Command tinysdr-vet runs the repo's invariant analyzers — noallocinto,
+// determinism, goroutinehygiene, seedflow (internal/lint) — plus the stock
+// `go vet` passes over the given packages, and compares the resulting
+// diagnostic/waiver counts against testdata/vet.golden so that new
+// violations (or silently accreting waivers) fail CI.
+//
+// Usage:
+//
+//	go run ./cmd/tinysdr-vet ./...             # lint + stock vet + golden gate
+//	go run ./cmd/tinysdr-vet -update-golden ./...
+//	go run ./cmd/tinysdr-vet -no-govet ./internal/dsp
+//
+// A diagnostic is suppressed only by a same-line (or line-above)
+// "//lint:<token> reason" waiver with a non-empty reason; the per-token
+// waiver counts are pinned by the golden file, so every waiver is a
+// reviewed, written-down decision.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"github.com/uwsdr/tinysdr/internal/lint"
+)
+
+func main() {
+	goldenFlag := flag.String("golden", "", "golden counts file (default <module root>/testdata/vet.golden when present)")
+	updateGolden := flag.Bool("update-golden", false, "rewrite the golden counts file from this run")
+	noGovet := flag.Bool("no-govet", false, "skip the stock `go vet` passes")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tinysdr-vet [flags] [packages]\n\nAnalyzers:\n")
+		for _, az := range lint.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s (waiver //lint:%s) %s\n", az.Name, az.Waiver, az.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*noGovet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			fatal(fmt.Errorf("stock go vet failed: %v", err))
+		}
+	}
+
+	res, err := lint.Run(".", patterns, lint.Suite())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range res.Diags {
+		fmt.Println(relDiag(root, d))
+	}
+
+	goldenPath := *goldenFlag
+	if goldenPath == "" {
+		p := filepath.Join(root, "testdata", "vet.golden")
+		if _, err := os.Stat(p); err == nil || *updateGolden {
+			goldenPath = p
+		}
+	}
+	if *updateGolden {
+		if goldenPath == "" {
+			fatal(fmt.Errorf("-update-golden needs a -golden path"))
+		}
+		if err := os.WriteFile(goldenPath, []byte(lint.FormatGolden(res)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tinysdr-vet: wrote %s\n", goldenPath)
+	} else if goldenPath != "" {
+		golden, err := os.ReadFile(goldenPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.CompareGolden(res, string(golden)); err != nil {
+			fatal(err)
+		}
+	}
+	if len(res.Diags) > 0 {
+		fatal(fmt.Errorf("%d diagnostic(s)", len(res.Diags)))
+	}
+}
+
+// relDiag shortens absolute file paths to module-relative for readable,
+// machine-stable output.
+func relDiag(root string, d lint.Diag) string {
+	if rel, err := filepath.Rel(root, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+		d.File = rel
+	}
+	return d.String()
+}
+
+// moduleRoot resolves the enclosing module's directory via go env GOMOD.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("tinysdr-vet: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("tinysdr-vet: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tinysdr-vet: %v\n", err)
+	os.Exit(1)
+}

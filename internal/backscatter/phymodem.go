@@ -1,6 +1,7 @@
 package backscatter
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,6 +27,10 @@ type Modem struct {
 
 	reader  *Reader
 	profile channel.RadioProfile
+	// tag is the reflection model ModulateInto drives; refreshed by value
+	// from the public fields on every call so the hot path never
+	// allocates one.
+	tag Tag
 }
 
 // Default modem constants: a strong exciter leak 20 dB above carrier-half
@@ -38,6 +43,10 @@ const (
 // backscatterDetectionSNRdB is the per-bit correlation SNR needed for
 // reliable slicing, over the bit-rate noise bandwidth.
 const backscatterDetectionSNRdB = 10
+
+// errEmptyPayload is a sentinel so the ModulateInto hot path rejects empty
+// payloads without formatting an error.
+var errEmptyPayload = errors.New("backscatter: empty payload")
 
 // NewModem returns a backscatter modem for the configuration, calibrated
 // against the given receive chain.
@@ -98,14 +107,15 @@ func (m *Modem) NoiseFloorDBm() float64 {
 // sweeps amortize through the Link pipeline's waveform cache).
 func (m *Modem) ModulateInto(dst iq.Samples, payload []byte) (iq.Samples, error) {
 	if len(payload) == 0 {
-		return nil, fmt.Errorf("backscatter: empty payload")
+		return nil, errEmptyPayload
 	}
-	tag := &Tag{Config: m.Config, Reflection: m.Reflection}
-	reflected, err := tag.Backscatter(bitsFromBytes(payload))
+	m.tag = Tag{Config: m.Config, Reflection: m.Reflection}
+	reflected, err := m.tag.Backscatter(bitsFromBytes(payload))
 	if err != nil {
 		return nil, err
 	}
 	if cap(dst) < len(reflected) {
+		//lint:allocok amortized growth; the Link waveform cache reuses dst across a sweep
 		dst = make(iq.Samples, len(reflected))
 	}
 	out := dst[:len(reflected)]
@@ -123,6 +133,7 @@ func (m *Modem) DemodulateFrom(dst []byte, sig iq.Samples) ([]byte, error) {
 	nbits := len(sig) / m.Config.SamplesPerBit()
 	nbits -= nbits % 8
 	if nbits == 0 {
+		//lint:allocok error guard formats only when the receive already failed
 		return nil, fmt.Errorf("backscatter: %d samples hold no whole payload byte", len(sig))
 	}
 	bits, err := m.reader.Demodulate(sig, nbits)

@@ -94,6 +94,7 @@ func Chaos(cfg Config) (*Result, error) {
 			allOrNothing = "yes"
 		}
 		var classes []string
+		//lint:detok order-insensitive: classes are sorted below and classTotals addition commutes
 		for c, n := range res.Failures {
 			classes = append(classes, fmt.Sprintf("%s:%d", c, n))
 			classTotals[c] += n
@@ -126,6 +127,7 @@ func Chaos(cfg Config) (*Result, error) {
 			metrics["quorum_met_"+key] = 0
 		}
 	}
+	//lint:detok order-insensitive map-to-map transfer; metrics keys are sorted at render time
 	for c, n := range classTotals {
 		metrics["failures_"+strings.ReplaceAll(c, "-", "_")] = float64(n)
 	}

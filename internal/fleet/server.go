@@ -186,6 +186,7 @@ func (s *Server) List() []*Campaign {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*Campaign, 0, len(s.campaigns))
+	//lint:detok order-insensitive: the summaries are sorted by ID before returning
 	for _, c := range s.campaigns {
 		out = append(out, c.summary())
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 )
 
@@ -265,5 +266,81 @@ func TestWaitHonorsContext(t *testing.T) {
 	}
 	if _, err := srv.Wait(context.Background(), blocker.ID); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServerConcurrentCancelStress hammers the campaign map from every API
+// surface at once — creates, cancels, polls, listings and waits racing each
+// other — so `go test -race` covers the lifecycle transitions (especially
+// cancel-before-start versus cancel-mid-run) that single-campaign tests
+// serialize away.
+func TestServerConcurrentCancelStress(t *testing.T) {
+	srv := NewServer()
+	const campaigns = 12
+
+	var wg sync.WaitGroup
+	ids := make(chan string, campaigns)
+	for i := 0; i < campaigns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := srv.Create(Spec{Seed: int64(i), Nodes: 8, ShardSize: 4, ImageKB: 4, Workers: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- c.ID
+			if i%2 == 0 {
+				// Half the campaigns are canceled while pending or running.
+				if _, err := srv.Cancel(c.ID); err != nil {
+					t.Error(err)
+				}
+			}
+			if _, err := srv.Wait(context.Background(), c.ID); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+
+	// Readers churn the map while the lifecycle goroutines run.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, c := range srv.List() {
+					if _, ok := srv.Get(c.ID); !ok {
+						t.Errorf("listed campaign %q vanished", c.ID)
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	close(ids)
+
+	for id := range ids {
+		c, ok := srv.Get(id)
+		if !ok {
+			t.Fatalf("campaign %q lost", id)
+		}
+		switch c.Status {
+		case StatusDone, StatusCanceled:
+		default:
+			t.Errorf("campaign %q not terminal after Wait: %s (error %q)", id, c.Status, c.Error)
+		}
+	}
+	if got := len(srv.List()); got != campaigns {
+		t.Errorf("List returned %d campaigns, want %d", got, campaigns)
 	}
 }

@@ -1,0 +1,54 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough surface (Analyzer, Pass,
+// Diagnostic) for the tinysdr-vet suite to be written in the upstream
+// idiom. The container this repo builds in has no module proxy access, so
+// the real x/tools cannot be vendored; every analyzer in internal/lint is
+// written against this shim so that swapping the import path to
+// golang.org/x/tools/go/analysis (and deleting this package) is a
+// mechanical change once the dependency is allowed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike the upstream type it carries
+// the waiver token that suppresses its diagnostics: a source line ending in
+// "//lint:<Waiver> <reason>" (or preceded by a comment line of that form)
+// is exempt, and the driver requires the reason to be non-empty.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and golden counts.
+	Name string
+	// Doc is the one-paragraph help text (first line = summary).
+	Doc string
+	// Waiver is the //lint: directive token that waives this analyzer's
+	// diagnostics ("allocok", "detok", ...). Empty means unwaivable.
+	Waiver string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked form to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

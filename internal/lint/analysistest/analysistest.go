@@ -1,0 +1,189 @@
+// Package analysistest runs lint analyzers over seeded fixture packages
+// under testdata/src and compares the diagnostics against `// want`
+// expectations — a dependency-free equivalent of
+// golang.org/x/tools/go/analysis/analysistest, built on the same
+// go-list-export loader as the real driver so fixtures are type-checked
+// exactly like production packages.
+//
+// A fixture line asserts its diagnostics with a trailing comment:
+//
+//	buf := make([]byte, n) // want `allocates`
+//
+// The backquoted pattern is an unanchored regexp matched against every
+// diagnostic reported on that line (after waiver filtering, so fixtures
+// exercise //lint: waivers too). Lines without a want comment must produce
+// no diagnostics.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/lint"
+)
+
+// wantRE extracts the expectation pattern from a fixture comment.
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// Run lints every fixture package found under dir (each directory with
+// .go files is one package, its import path the slash path relative to
+// dir) with the given analyzers and reports mismatches through t.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) *lint.Result {
+	t.Helper()
+	fset, pkgs := LoadFixtures(t, dir)
+	res, err := lint.RunPackages(fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+	compare(t, fset, pkgs, res)
+	return res
+}
+
+// LoadFixtures parses and type-checks every fixture package under dir,
+// resolving their stdlib imports through compiled export data.
+func LoadFixtures(t *testing.T, dir string) (*token.FileSet, []*lint.Package) {
+	t.Helper()
+	byDir := map[string][]string{}
+	var dirs []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		pd := filepath.Dir(path)
+		if len(byDir[pd]) == 0 {
+			dirs = append(dirs, pd)
+		}
+		byDir[pd] = append(byDir[pd], filepath.Base(path))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixtures %s: %v", dir, err)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under %s", dir)
+	}
+	sort.Strings(dirs)
+
+	imports := fixtureImports(t, dirs, byDir)
+	exports, err := lint.StdlibExports(imports)
+	if err != nil {
+		t.Fatalf("resolving fixture imports %v: %v", imports, err)
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*lint.Package
+	for _, pd := range dirs {
+		rel, err := filepath.Rel(dir, pd)
+		if err != nil {
+			t.Fatalf("fixture path %s: %v", pd, err)
+		}
+		files := byDir[pd]
+		sort.Strings(files)
+		pkg, err := lint.CheckFixture(fset, filepath.ToSlash(rel), pd, files, exports)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", pd, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs
+}
+
+// fixtureImports collects the union of import paths across all fixture
+// files by a lightweight parse of their import clauses.
+func fixtureImports(t *testing.T, dirs []string, byDir map[string][]string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet()
+	for _, pd := range dirs {
+		for _, name := range byDir[pd] {
+			f, err := parseImportsOnly(fset, filepath.Join(pd, name))
+			if err != nil {
+				t.Fatalf("parsing fixture %s: %v", name, err)
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expectation is one `// want` assertion.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// compare diffs the run's diagnostics against the fixtures' want comments:
+// every diagnostic must be wanted, every want must be matched.
+func compare(t *testing.T, fset *token.FileSet, pkgs []*lint.Package, res *lint.Result) {
+	t.Helper()
+	wants := collectWants(t, fset, pkgs)
+	matched := make([]bool, len(wants))
+	for _, d := range res.Diags {
+		ok := false
+		for i, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts all want comments from the fixture ASTs.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*lint.Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						pos := fset.Position(c.Slash)
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					pos := fset.Position(c.Slash)
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseImportsOnly parses just the import clause of a file.
+func parseImportsOnly(fset *token.FileSet, path string) (*ast.File, error) {
+	return parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+}

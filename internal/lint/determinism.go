@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"github.com/uwsdr/tinysdr/internal/lint/analysis"
+)
+
+// Determinism enforces the bit-reproducibility contract repo-wide: every
+// random draw must be a pure function of (seed, node/trial, index) and no
+// simulated result may depend on wall-clock time or map iteration order.
+// It flags (1) the global math/rand source (rand.Intn and friends — use a
+// seeded rand.New/SplitMix64 source), (2) time.Now/time.Since/time.Until
+// outside cmd/ and the fleet HTTP server, and (3) range over a map inside
+// any function on a metrics/report/JSON path — the exact failure class of
+// the PR 2 Ledger.Energy bug, where map iteration broke byte-identical
+// fleet reports.
+var Determinism = &analysis.Analyzer{
+	Name:   "determinism",
+	Waiver: "detok",
+	Doc: "flag global math/rand, wall-clock reads outside cmd/ and the fleet " +
+		"server, and map iteration in metrics/report/JSON-encoding paths",
+	Run: runDeterminism,
+}
+
+// seededConstructors are the math/rand names that build explicit seeded
+// sources — the allowed way in.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// metricsPackageSegments name the packages whose outputs are compared
+// byte-for-byte across worker counts (eval metrics, fleet reports, OTA
+// campaign reports, testbed CDFs); any map iteration there is
+// order-suspect.
+var metricsPackageSegments = map[string]bool{
+	"eval": true, "fleet": true, "ota": true, "testbed": true,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	wallClockExempt := hasSegment(path, "cmd")
+	inMetricsPkg := false
+	for _, seg := range strings.Split(path, "/") {
+		if metricsPackageSegments[seg] {
+			inMetricsPkg = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			metricsFn := inMetricsPkg || callsJSONEncoding(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkRandGlobal(pass, n)
+					checkWallClock(pass, n, wallClockExempt)
+				case *ast.RangeStmt:
+					if metricsFn && isMapType(pass, n.X) {
+						pass.Reportf(n.Pos(),
+							"%s: map iteration order is random; this function feeds metrics/report/JSON output (sort keys first — the PR 2 Ledger.Energy bug class)",
+							fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkRandGlobal flags calls to math/rand package-level draw functions —
+// they share one process-global, racy source that no seed controls.
+func checkRandGlobal(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	p := obj.Pkg().Path()
+	if p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	// Methods on *rand.Rand / Source are seeded instances — fine. Only
+	// package-level functions hit the global source.
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	if seededConstructors[obj.Name()] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"global math/rand.%s draws from the process-wide source; derive a seeded source (rand.New(rand.NewSource(seed)) or par.SplitSeed)",
+		obj.Name())
+}
+
+// checkWallClock flags time.Now/Since/Until outside the exempt locations:
+// cmd/ binaries may report wall time, and the fleet HTTP server
+// (internal/fleet/server.go) legitimately observes real time.
+func checkWallClock(pass *analysis.Pass, call *ast.CallExpr, pkgExempt bool) {
+	if pkgExempt {
+		return
+	}
+	name := ""
+	switch {
+	case isPkgFuncCall(pass, call, "time", "Now"):
+		name = "Now"
+	case isPkgFuncCall(pass, call, "time", "Since"):
+		name = "Since"
+	case isPkgFuncCall(pass, call, "time", "Until"):
+		name = "Until"
+	default:
+		return
+	}
+	pos := pass.Fset.Position(call.Pos())
+	if filepath.Base(pos.Filename) == "server.go" && hasSegment(pass.Pkg.Path(), "fleet") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"time.%s makes results depend on wall-clock time; simulated paths must use the device clock (allowed only in cmd/ and the fleet server)",
+		name)
+}
+
+// callsJSONEncoding reports whether the body contains any call into
+// encoding/json — the marker that the function's output is serialized and
+// so must be ordering-stable.
+func callsJSONEncoding(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "encoding/json" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isMapType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// hasSegment reports whether a slash-separated import path contains the
+// segment.
+func hasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

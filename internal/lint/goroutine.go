@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/uwsdr/tinysdr/internal/lint/analysis"
+)
+
+// GoroutineHygiene enforces the concurrency layering: all parallelism
+// flows through the deterministic pool in internal/par (plus the fleet
+// scheduler and the cmd/ binaries that own their process). A `go`
+// statement anywhere else is a bypass of the worker-count-independence
+// contract. It also flags a sync.Mutex/RWMutex held across a channel send
+// or an HTTP handler call — the deadlock/latency shape that bit campaign
+// cancellation in the fleet server.
+var GoroutineHygiene = &analysis.Analyzer{
+	Name:   "goroutinehygiene",
+	Waiver: "gook",
+	Doc: "flag `go` statements outside internal/par, internal/fleet and cmd/, " +
+		"and mutexes held across channel sends or HTTP handler calls",
+	Run: runGoroutineHygiene,
+}
+
+func goStmtAllowed(path string) bool {
+	return hasSegment(path, "par") || hasSegment(path, "fleet") || hasSegment(path, "cmd")
+}
+
+func runGoroutineHygiene(pass *analysis.Pass) error {
+	allowed := goStmtAllowed(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !allowed {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						pass.Reportf(g.Pos(),
+							"%s: goroutines outside internal/par, internal/fleet and cmd/ break worker-count determinism; use par.Trials/par.Do",
+							fd.Name.Name)
+					}
+					return true
+				})
+			}
+			name := fd.Name.Name
+			checkMutexHeld(pass, name, fd.Body)
+			// Closures are separate execution contexts (often goroutine
+			// bodies): each gets its own independent lock-state scan.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkMutexHeld(pass, name+" (closure)", fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMutexHeld performs a linear scan of one function body: after a
+// sync mutex Lock/RLock (or a deferred Unlock, which holds to function
+// exit), a channel send or a call into an http.ResponseWriter-taking
+// function is flagged until the matching Unlock. The scan is a
+// straight-line approximation — branches that unlock on one arm only are
+// treated as still held, which errs on the loud side for lock hygiene.
+func checkMutexHeld(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // scanned separately with fresh lock state
+		case *ast.DeferStmt:
+			if isMutexOp(pass, n.Call, "Unlock") || isMutexOp(pass, n.Call, "RUnlock") {
+				held = true
+			}
+			return false
+		case *ast.CallExpr:
+			switch {
+			case isMutexOp(pass, n, "Lock"), isMutexOp(pass, n, "RLock"):
+				held = true
+			case isMutexOp(pass, n, "Unlock"), isMutexOp(pass, n, "RUnlock"):
+				held = false
+			case held && callTakesResponseWriter(pass, n):
+				pass.Reportf(n.Pos(),
+					"%s: HTTP handler call while a sync mutex is held; serve from a snapshot instead",
+					name)
+			}
+		case *ast.SendStmt:
+			if held {
+				pass.Reportf(n.Pos(),
+					"%s: channel send while a sync mutex is held can deadlock against the receiver; send after Unlock",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// isMutexOp reports whether call is <sync.Mutex|sync.RWMutex>.<name>().
+func isMutexOp(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// callTakesResponseWriter reports whether any parameter of the callee's
+// static signature is net/http.ResponseWriter (handler funcs, ServeHTTP).
+func callTakesResponseWriter(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if named, ok := params.At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+// Analyzer contract tests: each analyzer runs over a seeded fixture tree
+// under testdata/src/<analyzer>/ whose `// want` comments pin the positive
+// cases and whose unannotated lines pin the negatives (see analysistest).
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/lint"
+	"github.com/uwsdr/tinysdr/internal/lint/analysistest"
+)
+
+func TestNoAllocIntoFixtures(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "noallocinto"), lint.NoAllocInto)
+	if got := res.Waivers["allocok"]; got != 1 {
+		t.Errorf("fixture should consume exactly 1 allocok waiver, got %d", got)
+	}
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "determinism"), lint.Determinism)
+	if got := res.Waivers["detok"]; got != 1 {
+		t.Errorf("fixture should consume exactly 1 detok waiver, got %d", got)
+	}
+}
+
+func TestGoroutineHygieneFixtures(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "goroutinehygiene"), lint.GoroutineHygiene)
+	if got := res.Waivers["gook"]; got != 0 {
+		t.Errorf("fixture consumes no gook waivers, got %d", got)
+	}
+}
+
+func TestSeedFlowFixtures(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "seedflow"), lint.SeedFlow)
+	if got := res.Waivers["seedok"]; got != 1 {
+		t.Errorf("fixture should consume exactly 1 seedok waiver, got %d", got)
+	}
+}
+
+// TestWaiverMechanism pins the driver-level waiver rules on the waiverfix
+// fixture: an empty-reason waiver is itself a diagnostic AND suppresses
+// nothing, an unused waiver is flagged, and an unknown token is flagged.
+// (These fixtures bypass the want-comment comparison because a directive
+// line cannot carry a second comment.)
+func TestWaiverMechanism(t *testing.T) {
+	fset, pkgs := analysistest.LoadFixtures(t, filepath.Join("testdata", "src", "waiverfix"))
+	res, err := lint.RunPackages(fset, pkgs, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"waiver requires a non-empty reason", // //lint:allocok with no reason
+		"make allocates",                     // ...and the diagnostic it failed to waive survives
+		"waiver suppresses nothing",          // reasoned waiver over clean code
+		"unknown waiver token",               // //lint:bogusok
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range res.Diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q; got:\n%s", want, diagList(res.Diags))
+		}
+	}
+	if got := res.Waivers["allocok"]; got != 0 {
+		t.Errorf("reasonless waiver must not be consumed: allocok count %d", got)
+	}
+}
+
+// TestRepoIsBurnedDown runs the full suite over the real module and
+// requires zero diagnostics with exactly the waiver counts committed in
+// testdata/vet.golden — the same gate cmd/tinysdr-vet applies in CI.
+func TestRepoIsBurnedDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is not short")
+	}
+	root := filepath.Join("..", "..")
+	res, err := lint.Run(root, []string{"./..."}, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	golden, err := os.ReadFile(filepath.Join(root, "testdata", "vet.golden"))
+	if err != nil {
+		t.Fatalf("missing vet.golden (run: go run ./cmd/tinysdr-vet -update-golden ./...): %v", err)
+	}
+	if err := lint.CompareGolden(res, string(golden)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoldenRoundTrip pins the golden format: format then compare is
+// always clean, and any drift in either direction is an error.
+func TestGoldenRoundTrip(t *testing.T) {
+	res := &lint.Result{Waivers: map[string]int{"allocok": 2, "detok": 1}}
+	golden := lint.FormatGolden(res)
+	if err := lint.CompareGolden(res, golden); err != nil {
+		t.Fatalf("round trip must be clean: %v", err)
+	}
+	drifted := &lint.Result{Waivers: map[string]int{"allocok": 3, "detok": 1}}
+	if err := lint.CompareGolden(drifted, golden); err == nil {
+		t.Fatal("a new waiver must fail the golden gate")
+	}
+	withDiag := &lint.Result{
+		Diags:   []lint.Diag{{Analyzer: "determinism", File: "x.go", Line: 1, Message: "m"}},
+		Waivers: map[string]int{"allocok": 2, "detok": 1},
+	}
+	if err := lint.CompareGolden(withDiag, golden); err == nil {
+		t.Fatal("a new diagnostic must fail the golden gate")
+	}
+}
+
+func diagList(diags []lint.Diag) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

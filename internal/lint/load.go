@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader type-checks the module without golang.org/x/tools/go/packages
+// (the build container has no module proxy): `go list -export -deps`
+// produces compiled export data for every dependency — stdlib included —
+// and the stock gc importer accepts a lookup hook that serves those files,
+// so a full go/types load needs nothing beyond the standard toolchain.
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (or, for test fixtures, the synthetic path
+	// the test assigned — analyzers match on its slash-separated segments).
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded set of packages sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+}
+
+// goList runs `go list -export -deps -json` in dir over the patterns and
+// decodes the stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,GoFiles,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup serves compiled export data to the gc importer.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// checkPackage parses srcFiles and type-checks them as one package under
+// the given import path, resolving imports through lookup.
+func checkPackage(fset *token.FileSet, path string, dir string, srcFiles []string,
+	lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	files := make([]*ast.File, 0, len(srcFiles))
+	for _, name := range srcFiles {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", full, err)
+		}
+		files = append(files, f)
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	info := newInfo()
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s:\n  %s", path, strings.Join(typeErrs, "\n  "))
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// mainModulePath reports the import path of the main module rooted at dir.
+func mainModulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Path}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// Load type-checks the packages matched by patterns (and only those in the
+// main module — dependencies are consumed as export data, never re-parsed)
+// rooted at dir.
+func Load(dir string, patterns []string) (*Program, error) {
+	mod, err := mainModulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := exportLookup(exports)
+	prog := &Program{Fset: token.NewFileSet()}
+	for _, p := range listed {
+		if p.Standard || p.Module == nil || p.Module.Path != mod {
+			continue
+		}
+		pkg, err := checkPackage(prog.Fset, p.ImportPath, p.Dir, p.GoFiles, lookup)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	if len(prog.Packages) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %s", strings.Join(patterns, " "))
+	}
+	return prog, nil
+}
+
+// StdlibExports resolves export data for a set of standard-library import
+// paths (building them into the cache if needed) — the fixture loader in
+// analysistest uses it to type-check testdata packages that import only
+// the stdlib.
+func StdlibExports(deps []string) (map[string]string, error) {
+	if len(deps) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList(".", deps)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckFixture type-checks one directory of fixture files as a package
+// under the synthetic import path, resolving imports from exports.
+func CheckFixture(fset *token.FileSet, path, dir string, srcFiles []string,
+	exports map[string]string) (*Package, error) {
+	return checkPackage(fset, path, dir, srcFiles, exportLookup(exports))
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/uwsdr/tinysdr/internal/lint/analysis"
+)
+
+// NoAllocInto flags allocation in the zero-alloc hot paths: any exported
+// function or method named *Into or *From in the DSP-adjacent packages
+// (dsp, lora, ble, backscatter, channel, phy, iq). These are the contracts
+// PERFORMANCE.md pins with testing.AllocsPerRun; the analyzer turns the
+// runtime contract into a compile-time one. Allocation on a panicking
+// guard path is exempt (it only runs when the program is already dying),
+// and deliberate cold-path growth carries a "//lint:allocok reason"
+// waiver.
+var NoAllocInto = &analysis.Analyzer{
+	Name:   "noallocinto",
+	Waiver: "allocok",
+	Doc: "flag make/new/append growth, escaping composite literals, closures, " +
+		"fmt and string concatenation, and interface boxing inside exported " +
+		"*Into/*From hot-path functions",
+	Run: runNoAllocInto,
+}
+
+// hotPackageSegments are the path segments naming the zero-alloc packages.
+var hotPackageSegments = map[string]bool{
+	"dsp": true, "lora": true, "ble": true, "backscatter": true,
+	"channel": true, "phy": true, "iq": true,
+}
+
+func isHotPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if hotPackageSegments[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func isHotFuncName(name string) bool {
+	return ast.IsExported(name) &&
+		(strings.HasSuffix(name, "Into") || strings.HasSuffix(name, "From")) &&
+		name != "Into" && name != "From"
+}
+
+func runNoAllocInto(pass *analysis.Pass) error {
+	if !isHotPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotFuncName(fd.Name.Name) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHotBody walks one hot function's body, skipping the arguments of
+// panic(...) calls: a panicking guard allocates only on the crash path.
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(pass, n, "panic") {
+				return false // crash path: allocation never reaches steady state
+			}
+			checkHotCall(pass, name, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s: closure literal allocates in zero-alloc hot path", name)
+			return false
+		case *ast.CompositeLit:
+			checkHotComposite(pass, name, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s: &composite literal escapes to the heap in zero-alloc hot path", name)
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass, n.X) {
+				pass.Reportf(n.Pos(), "%s: string concatenation allocates in zero-alloc hot path", name)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkHotCall(pass *analysis.Pass, fn string, call *ast.CallExpr) {
+	switch {
+	case isBuiltinCall(pass, call, "make"):
+		pass.Reportf(call.Pos(), "%s: make allocates in zero-alloc hot path", fn)
+	case isBuiltinCall(pass, call, "new"):
+		pass.Reportf(call.Pos(), "%s: new allocates in zero-alloc hot path", fn)
+	case isBuiltinCall(pass, call, "append"):
+		pass.Reportf(call.Pos(), "%s: append may grow its backing array in zero-alloc hot path", fn)
+	case isPkgFuncCall(pass, call, "fmt", "") || isPkgFuncCall(pass, call, "errors", "New"):
+		pass.Reportf(call.Pos(), "%s: formatting call allocates in zero-alloc hot path", fn)
+	default:
+		checkBoxing(pass, fn, call)
+	}
+}
+
+// checkHotComposite flags slice and map literals (always heap-backed) but
+// lets plain struct/array value literals through — those live on the stack
+// unless something else makes them escape.
+func checkHotComposite(pass *analysis.Pass, fn string, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "%s: slice literal allocates in zero-alloc hot path", fn)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "%s: map literal allocates in zero-alloc hot path", fn)
+	}
+}
+
+// checkBoxing flags call arguments whose parameter is an interface while
+// the argument's static type is concrete — the conversion boxes the value.
+func checkBoxing(pass *analysis.Pass, fn string, call *ast.CallExpr) {
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s: passing concrete %s as interface %s boxes the value in zero-alloc hot path",
+			fn, at, pt)
+	}
+}
+
+// --- shared type helpers ---
+
+func isBuiltinCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isPkgFuncCall reports whether call invokes a package-level function of
+// the named package ("" matches any function in the package).
+func isPkgFuncCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	return name == "" || obj.Name() == name
+}
+
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions are not calls
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isStringType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/uwsdr/tinysdr/internal/lint/analysis"
+)
+
+// SeedFlow guards the purity of seeded constructors and trial bodies: a
+// function that accepts a seed (or a rand source) promises that its output
+// is a function of its arguments alone. Reading package-level mutable
+// state inside such a function smuggles in hidden input that no seed
+// controls, so two runs with the same seed can diverge. Three classes of
+// package-level vars are exempt because they cannot vary between runs:
+// error sentinels (`var errFoo = errors.New(...)`), stateless method
+// bundles (empty structs like binary.LittleEndian), and same-package vars
+// the package never writes after initialization (read-only lookup
+// tables).
+var SeedFlow = &analysis.Analyzer{
+	Name:   "seedflow",
+	Waiver: "seedok",
+	Doc: "flag functions taking a seed or rand source that also read " +
+		"package-level mutable state",
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *analysis.Pass) error {
+	written := writtenPackageVars(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !takesSeed(pass, fd) {
+				continue
+			}
+			checkSeedPurity(pass, fd, written)
+		}
+	}
+	return nil
+}
+
+// writtenPackageVars collects every package-level var of this package that
+// any code in the package writes to after its declaration — directly, via
+// index/field/star assignment, or by having its address taken (which lets
+// anyone write it later). Vars outside this set are init-only lookup
+// tables, constant for a given build, and therefore not hidden inputs.
+func writtenPackageVars(pass *analysis.Pass) map[*types.Var]bool {
+	written := map[*types.Var]bool{}
+	mark := func(e ast.Expr) {
+		// Strip the paths a write can reach the var through.
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				if id, ok := e.(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && isPackageLevel(v) {
+						written[v] = true
+					}
+				}
+				return
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					mark(lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(n.X)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					mark(n.X)
+				}
+			}
+			return true
+		})
+	}
+	return written
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// takesSeed reports whether the function declares a parameter that makes
+// it part of the deterministic-randomness contract: an integer named
+// "seed", or any parameter of a math/rand source/generator type.
+func takesSeed(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isRandSourceType(t) {
+			return true
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			for _, name := range field.Names {
+				if name.Name == "seed" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isRandSourceType matches math/rand(.v2) Source, Source64, *Rand and
+// their pointers.
+func isRandSourceType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	var obj *types.TypeName
+	switch t := t.(type) {
+	case *types.Named:
+		obj = t.Obj()
+	case *types.Interface:
+		return false // matched via the named form below
+	default:
+		return false
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	if p != "math/rand" && p != "math/rand/v2" {
+		return false
+	}
+	switch obj.Name() {
+	case "Source", "Source64", "Rand", "PCG", "ChaCha8":
+		return true
+	}
+	return false
+}
+
+// checkSeedPurity flags identifier uses inside the body that resolve to
+// package-level variables (any package, exported or not), modulo the
+// constant-for-a-build exemptions.
+func checkSeedPurity(pass *analysis.Pass, fd *ast.FuncDecl, written map[*types.Var]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isPackageLevel(v) {
+			return true
+		}
+		if isErrorSentinel(v) || isEmptyStruct(v.Type()) {
+			return true
+		}
+		// Same-package vars the package never writes are init-only
+		// tables; foreign vars can't be proven read-only, so they stay
+		// flagged (waive with a reason if genuinely immutable).
+		if v.Pkg() == pass.Pkg && !written[v] {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"%s takes a seed but reads package-level mutable state %s.%s; results are no longer a pure function of the seed",
+			fd.Name.Name, v.Pkg().Name(), v.Name())
+		return true
+	})
+}
+
+// isEmptyStruct matches stateless method-bundle vars like
+// encoding/binary.LittleEndian: no fields, nothing to mutate.
+func isEmptyStruct(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}
+
+// isErrorSentinel reports whether the package-level var is an error —
+// treated as an immutable sentinel by convention.
+func isErrorSentinel(v *types.Var) bool {
+	named, ok := v.Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -1,0 +1,13 @@
+// Command tool is a seeded fixture: cmd/ binaries may read the wall clock
+// (they report human-facing timings, not simulated results).
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now() // cmd/ is exempt
+	fmt.Println(time.Since(start))
+}

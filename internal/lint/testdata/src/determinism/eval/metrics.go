@@ -1,0 +1,14 @@
+// Package eval is a seeded fixture for the determinism analyzer inside a
+// metrics package (the "eval" path segment): every map iteration is
+// order-suspect, JSON or not.
+package eval
+
+// Collect aggregates per-trial metrics; iteration order would change the
+// report byte stream.
+func Collect(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration order is random`
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// Package fleet is a seeded fixture: server.go in the fleet package is
+// the one non-cmd file allowed to observe real time (HTTP serving).
+package fleet
+
+import "time"
+
+// Uptime lives in server.go: exempt.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

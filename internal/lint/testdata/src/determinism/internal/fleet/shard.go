@@ -1,0 +1,9 @@
+package fleet
+
+import "time"
+
+// ShardStamp is in the fleet package but NOT in server.go: the exemption
+// is per-file, so this wall-clock read is still a violation.
+func ShardStamp() time.Time {
+	return time.Now() // want `time.Now makes results depend on wall-clock`
+}

@@ -1,0 +1,58 @@
+// Package sim is a seeded fixture for the determinism analyzer in a
+// non-metrics package: global rand and wall-clock reads are flagged
+// everywhere, map iteration only where the function encodes JSON.
+package sim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"time"
+)
+
+// Draw uses the process-global source: never reproducible.
+func Draw() int {
+	return rand.Intn(6) // want `global math/rand.Intn`
+}
+
+// DrawSeeded derives everything from the seed: the approved pattern.
+func DrawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6) // methods on a seeded *rand.Rand are fine
+}
+
+// Stamp reads the wall clock outside cmd/ and the fleet server.
+func Stamp() time.Time {
+	return time.Now() // want `time.Now makes results depend on wall-clock`
+}
+
+// Encode serializes a map it iterates: the PR 2 Ledger bug class.
+func Encode(m map[string]float64) ([]byte, error) {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is random`
+		total += v
+	}
+	type payload struct {
+		Total float64 `json:"total"`
+	}
+	return json.Marshal(payload{Total: total})
+}
+
+// EncodeWaived carries a reviewed waiver for a commutative fold.
+func EncodeWaived(m map[string]float64) ([]byte, error) {
+	total := 0.0
+	//lint:detok fixture: addition commutes, order cannot leak into the output
+	for _, v := range m {
+		total += v
+	}
+	return json.Marshal(total)
+}
+
+// Sum never touches an encoding path and is not in a metrics package:
+// map iteration is unconstrained here.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package par is a seeded fixture: the "par" path segment marks the one
+// place worker goroutines belong.
+package par
+
+import "sync"
+
+// Fan runs fn n times across goroutines — allowed here.
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // sanctioned package: no diagnostic
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

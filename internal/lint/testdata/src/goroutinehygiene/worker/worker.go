@@ -1,0 +1,63 @@
+// Package worker is a seeded fixture for the goroutinehygiene analyzer:
+// it is outside internal/par, internal/fleet and cmd/, so goroutines are
+// forbidden, and it holds mutexes across sends and handler calls.
+package worker
+
+import (
+	"net/http"
+	"sync"
+)
+
+type state struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func work() {}
+
+// Spawn launches a goroutine outside the sanctioned packages.
+func Spawn() {
+	go work() // want `goroutines outside internal/par, internal/fleet and cmd/`
+}
+
+// SendHeld sends on a channel with the mutex held.
+func (s *state) SendHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while a sync mutex is held`
+	s.mu.Unlock()
+}
+
+// SendDeferHeld holds via a deferred unlock until function exit.
+func (s *state) SendDeferHeld(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while a sync mutex is held`
+}
+
+// SendReleased unlocks before sending: fine.
+func (s *state) SendReleased(v int) {
+	s.mu.Lock()
+	v *= 2
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func writeJSON(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// ServeHeld calls into an http.ResponseWriter-taking function under the
+// lock: the response should be served from a snapshot instead.
+func (s *state) ServeHeld(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, 200) // want `HTTP handler call while a sync mutex is held`
+}
+
+// ServeSnapshot copies under the lock, serves after: fine.
+func (s *state) ServeSnapshot(w http.ResponseWriter) {
+	s.mu.Lock()
+	code := 200
+	s.mu.Unlock()
+	writeJSON(w, code)
+}

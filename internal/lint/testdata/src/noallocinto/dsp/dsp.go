@@ -1,0 +1,62 @@
+// Package dsp is a seeded fixture for the noallocinto analyzer: the
+// import path carries the "dsp" hot segment, so exported *Into/*From
+// functions are zero-alloc contracts.
+package dsp
+
+import (
+	"errors"
+	"fmt"
+)
+
+type pair struct{ a, b int }
+
+func emit(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// ProcessInto exercises every allocation form the analyzer must flag.
+func ProcessInto(dst []float64, n int, name string, e error) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("dsp: negative length %d", n)) // guard path: exempt
+	}
+	buf := make([]float64, n) // want `make allocates`
+	_ = buf
+	p := new(int) // want `new allocates`
+	_ = p
+	dst = append(dst, 1) // want `append may grow`
+	s := []int{1, 2}     // want `slice literal allocates`
+	_ = s
+	m := map[int]int{1: 2} // want `map literal allocates`
+	_ = m
+	q := &pair{1, 2} // want `composite literal escapes`
+	_ = q
+	f := func() int { return n } // want `closure literal allocates`
+	_ = f
+	label := name + "-x" // want `string concatenation allocates`
+	_ = label
+	msg := fmt.Sprintf("n=%d", n) // want `formatting call allocates`
+	_ = msg
+	err := errors.New("dsp: bad input") // want `formatting call allocates`
+	_ = err
+	_ = emit(n) // want `boxes the value`
+	_ = emit(e) // interface-to-interface: no box
+
+	v := pair{3, 4} // value composite stays on the stack: exempt
+	_ = v
+	//lint:allocok fixture: deliberate cold-path growth under waiver
+	w := make([]float64, n)
+	return w
+}
+
+// ScaleBy is exported but not *Into/*From: allocation is fine here.
+func ScaleBy(n int) []float64 {
+	return make([]float64, n)
+}
+
+// helperInto is unexported: not part of the hot-path contract.
+func helperInto(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,9 @@
+// Package util has no hot-path segment in its import path: *Into
+// functions here are not zero-alloc contracts.
+package util
+
+// CopyInto may allocate freely — the package is outside the hot set.
+func CopyInto(dst []byte, n int) []byte {
+	buf := make([]byte, n)
+	return append(dst[:0], buf...)
+}

@@ -1,0 +1,67 @@
+// Package sim is a seeded fixture for the seedflow analyzer: functions
+// taking a seed (or rand source) must not read package-level mutable
+// state.
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+)
+
+// counter is written by Bump below, so it is mutable state.
+var counter int
+
+// table is never written after initialization: an init-only lookup,
+// constant for a build and exempt.
+var table = []int{3, 1, 4, 1, 5}
+
+// errBad is an error sentinel: exempt by convention.
+var errBad = errors.New("sim: bad draw")
+
+// Bump mutates counter (and takes no seed, so it is not checked).
+func Bump() {
+	counter++
+}
+
+// NewSim takes a seed but folds in the mutable counter: two runs with the
+// same seed can diverge.
+func NewSim(seed int64) int {
+	return int(seed) + counter // want `reads package-level mutable state sim\.counter`
+}
+
+// Mix takes a rand source — same contract, same violation.
+func Mix(src rand.Source64) int64 {
+	return int64(src.Uint64()) + int64(counter) // want `reads package-level mutable state sim\.counter`
+}
+
+// FromTable reads only the init-only table: exempt.
+func FromTable(seed int64) int {
+	return table[int(seed)%len(table)]
+}
+
+// Pack uses binary.LittleEndian, an empty-struct method bundle: exempt.
+func Pack(seed uint64) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, seed)
+	return out
+}
+
+// Checked returns the sentinel: exempt.
+func Checked(seed int64) error {
+	if seed == 0 {
+		return errBad
+	}
+	return nil
+}
+
+// WaivedSim documents why its read is safe.
+func WaivedSim(seed int64) int {
+	//lint:seedok fixture: counter is only bumped in tests that run single-threaded
+	return int(seed) + counter
+}
+
+// Plain takes no seed: reading counter is fine.
+func Plain() int {
+	return counter
+}

@@ -1,0 +1,28 @@
+// Package dsp is a seeded fixture for the waiver mechanism itself: an
+// empty-reason waiver, an unused waiver and an unknown token. It is NOT
+// run through the want-comment comparison (directive lines cannot carry a
+// second comment); TestWaiverMechanism asserts on the driver diagnostics
+// directly.
+package dsp
+
+// GrowInto has a reasonless waiver: the waiver is rejected AND the make
+// diagnostic survives.
+func GrowInto(dst []int, n int) []int {
+	//lint:allocok
+	buf := make([]int, n)
+	return append(dst[:0], buf...)
+}
+
+// CleanInto carries a waiver that suppresses nothing.
+func CleanInto(dst []int) []int {
+	//lint:allocok this line allocates nothing, so the waiver is dead weight
+	copy(dst, dst)
+	return dst
+}
+
+// TokenInto carries an unknown token.
+func TokenInto(dst []int) []int {
+	//lint:bogusok no analyzer owns this token
+	copy(dst, dst)
+	return dst
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// A Waiver is one "//lint:<token> <reason>" directive. It exempts exactly
+// one source line — its own, or the line below when it stands alone — from
+// the analyzer owning the token. The reason is mandatory: a waiver is a
+// documented decision, not an off switch, and the driver reports empty or
+// unused waivers as violations in their own right.
+type Waiver struct {
+	Token  string
+	Reason string
+	File   string
+	Line   int
+	// used records whether any diagnostic was suppressed by this waiver.
+	used bool
+}
+
+// waiverRE matches the directive anywhere a comment line starts with it
+// (directive comments have no space after //, matching //go: style).
+var waiverRE = regexp.MustCompile(`^//lint:([a-z]+)(?:[ \t]+(.*))?$`)
+
+// collectWaivers extracts every waiver directive from a file's comments.
+func collectWaivers(fset *token.FileSet, f *ast.File) []*Waiver {
+	var out []*Waiver
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := waiverRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			out = append(out, &Waiver{
+				Token:  m[1],
+				Reason: strings.TrimSpace(m[2]),
+				File:   pos.Filename,
+				Line:   pos.Line,
+			})
+		}
+	}
+	return out
+}
+
+// waiverKey indexes waivers by position for O(1) diagnostic matching.
+type waiverKey struct {
+	token string
+	file  string
+	line  int
+}
+
+// waiverIndex maps both the directive's own line and the line below it, so
+// a waiver suppresses a trailing-comment line or the statement under a
+// standalone comment.
+func waiverIndex(ws []*Waiver) map[waiverKey]*Waiver {
+	idx := make(map[waiverKey]*Waiver, 2*len(ws))
+	for _, w := range ws {
+		idx[waiverKey{w.Token, w.File, w.Line}] = w
+		idx[waiverKey{w.Token, w.File, w.Line + 1}] = w
+	}
+	return idx
+}

@@ -51,11 +51,13 @@ func (m *Modulator) ModulateInto(dst iq.Samples, payload []byte) (iq.Samples, er
 	quarter := sLen / 4
 	total := (m.p.PreambleLen+4)*sLen + quarter + len(symbols)*sLen
 	if cap(dst) < total {
+		//lint:allocok amortized growth; the Link waveform cache modulates once per sweep point
 		dst = make(iq.Samples, total)
 	}
 	out := dst[:total]
 
 	off := 0
+	//lint:allocok non-escaping slice-window closure; TX path amortized by the waveform cache
 	next := func(n int) iq.Samples {
 		w := out[off : off+n]
 		off += n
@@ -72,6 +74,7 @@ func (m *Modulator) ModulateInto(dst iq.Samples, payload []byte) (iq.Samples, er
 	st.SymbolInto(next(quarter), 0, true)
 	for _, sym := range symbols {
 		if sym < 0 || sym >= m.p.NumChips() {
+			//lint:allocok error guard formats only on a corrupt symbol table, never in a sweep
 			return nil, fmt.Errorf("lora: symbol value %d out of range", sym)
 		}
 		st.SymbolInto(next(sLen), sym, false)

@@ -25,6 +25,7 @@ const BroadcastAddr = 0xFFFF
 // sortedKeys returns the map's keys in ascending order.
 func sortedKeys(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
+	//lint:detok order-insensitive: the keys are sorted before any caller iterates them
 	for k := range m {
 		out = append(out, k)
 	}

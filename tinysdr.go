@@ -18,6 +18,14 @@
 // DSP hot path and a deterministic trial-parallel runner; PERFORMANCE.md
 // describes both and how to benchmark them.
 //
+// Those two properties — allocation-free hot paths and seed-determinism —
+// are also enforced statically: cmd/tinysdr-vet runs stock go vet plus
+// the repo's own analyzers (noallocinto, determinism, goroutinehygiene,
+// seedflow; see VetAnalyzers) and fails on any diagnostic or unreviewed
+// waiver, gated by testdata/vet.golden:
+//
+//	go run ./cmd/tinysdr-vet ./...
+//
 // # Quick start
 //
 // Any registered PHY runs through the same Modem/Link pipeline — swap
@@ -52,6 +60,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/fleet"
 	"github.com/uwsdr/tinysdr/internal/fpga"
 	"github.com/uwsdr/tinysdr/internal/iq"
+	"github.com/uwsdr/tinysdr/internal/lint"
 	"github.com/uwsdr/tinysdr/internal/localize"
 	"github.com/uwsdr/tinysdr/internal/lora"
 	"github.com/uwsdr/tinysdr/internal/lora/concurrent"
@@ -510,3 +519,18 @@ const (
 	OTAFailFlash       = ota.FailFlash
 	OTAFailProtocol    = ota.FailProtocol
 )
+
+// LintAnalyzer is one static check over the repo's invariants, runnable
+// by cmd/tinysdr-vet or embedded in another driver.
+type LintAnalyzer = lint.Analyzer
+
+// VetAnalyzers returns the repo's invariant analyzers — noallocinto
+// (zero-alloc *Into/*From hot paths), determinism (no ambient
+// randomness, wall clocks or map-order dependence on metrics paths),
+// goroutinehygiene (goroutines confined to internal/par, internal/fleet
+// and cmd/; no sends or handler calls under a mutex) and seedflow
+// (seed-taking functions must be pure functions of their seed) — in the
+// order cmd/tinysdr-vet runs them. Each analyzer's Waiver field names
+// the //lint:<token> that suppresses it; a waiver requires a written
+// reason and is counted against testdata/vet.golden.
+func VetAnalyzers() []*LintAnalyzer { return lint.Suite() }
