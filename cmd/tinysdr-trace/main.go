@@ -1,0 +1,227 @@
+// Command tinysdr-trace manages the record/replay IQ trace store
+// (internal/trace): content-addressed captures of the waveforms a live
+// link delivers to its demodulator, replayable bit-exactly without the
+// modulator or channel.
+//
+// Usage:
+//
+//	tinysdr-trace record -store testdata/traces -name lora-ref -phy lora \
+//	    -scenario "fading=rician:12,cfojitter=50" -seed 7 -packets 8 -margin 18
+//	tinysdr-trace replay -store testdata/traces -name lora-ref -verify
+//	tinysdr-trace replay -store testdata/traces -verify      # every stored trace
+//	tinysdr-trace ls -store testdata/traces
+//	tinysdr-trace gc -store testdata/traces
+//
+// record drives a live link through the composed scenario with a capture
+// tap installed, so the recorded run itself demodulates the quantized
+// samples a replay will decode. replay re-demodulates stored waveforms;
+// with -verify it diffs per-packet losses, PER and RSSI byte-for-byte
+// against the recorded manifest — the cross-version A/B gate CI runs on
+// the committed corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/uwsdr/tinysdr/internal/phy"
+	"github.com/uwsdr/tinysdr/internal/sim/scenario"
+	"github.com/uwsdr/tinysdr/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tinysdr-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tinysdr-trace <record|replay|ls|gc> [flags]
+  record  capture a live link run into the store
+  replay  re-demodulate a stored trace (-verify: byte-exact A/B gate)
+  ls      list stored traces
+  gc      remove blobs no manifest references
+run 'tinysdr-trace <cmd> -h' for per-command flags`)
+}
+
+func storeFlag(fs *flag.FlagSet) *string {
+	return fs.String("store", "testdata/traces", "trace store directory")
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	dir := storeFlag(fs)
+	name := fs.String("name", "", "trace name to store under (required)")
+	phyName := fs.String("phy", "lora", "registered protocol to capture")
+	spec := fs.String("scenario", "", "channel scenario (sim/scenario grammar), e.g. \"fading=rician:12,cfojitter=50\"")
+	seed := fs.Int64("seed", 7, "channel randomness seed")
+	packets := fs.Int("packets", 8, "packets to capture")
+	margin := fs.Float64("margin", 18, "link budget above RX sensitivity in dB")
+	bits := fs.Int("bits", 13, "capture quantization in bits (1..16)")
+	payload := fs.String("payload", "tinysdr-phy-golden", "transmitted payload")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("record needs -name")
+	}
+
+	tx, err := phy.New(*phyName)
+	if err != nil {
+		return err
+	}
+	rx, err := phy.New(*phyName)
+	if err != nil {
+		return err
+	}
+	parsed, err := scenario.Parse(*spec)
+	if err != nil {
+		return err
+	}
+	sc, err := parsed.Build(scenario.Link{
+		SampleRate: rx.SampleRate(),
+		RSSIdBm:    rx.SensitivityDBm() + *margin,
+		FloorDBm:   rx.NoiseFloorDBm(),
+	})
+	if err != nil {
+		return err
+	}
+	link, err := phy.Open(tx, rx, sc, *seed)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Record(link, trace.Meta{
+		PHY:        *phyName,
+		Seed:       *seed,
+		SampleRate: rx.SampleRate(),
+		Bits:       *bits,
+		Scenario:   *spec,
+		Payload:    []byte(*payload),
+	}, *packets)
+	if err != nil {
+		return err
+	}
+	store, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	if err := store.Put(*name, tr); err != nil {
+		return err
+	}
+	st := tr.Manifest.Stats()
+	fmt.Printf("%s: recorded %d packets (%d blobs), PER %.3f, RSSI %.2f dBm\n",
+		*name, st.Packets, len(tr.Blobs), st.PER, st.RSSIdBm)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	dir := storeFlag(fs)
+	name := fs.String("name", "", "trace to replay (empty: every stored trace)")
+	workers := fs.Int("workers", 0, "replay worker pool size (0 = all CPUs)")
+	verify := fs.Bool("verify", false, "fail unless replay metrics are byte-identical to the recorded run")
+	fs.Parse(args)
+
+	store, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	names := []string{*name}
+	if *name == "" {
+		if names, err = store.List(); err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("no traces in %s", *dir)
+		}
+	}
+	for _, n := range names {
+		tr, err := store.Get(n)
+		if err != nil {
+			return err
+		}
+		if *verify {
+			if err := trace.Verify(tr, *workers); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			st := tr.Manifest.Stats()
+			fmt.Printf("%s: verified %d packets byte-identical (PER %.3f, RSSI %.2f dBm)\n",
+				n, st.Packets, st.PER, st.RSSIdBm)
+			continue
+		}
+		st, err := trace.Replay(tr, *workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		fmt.Printf("%s: replayed %d packets, PER %.3f, RSSI %.2f dBm\n",
+			n, st.Packets, st.PER, st.RSSIdBm)
+	}
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	dir := storeFlag(fs)
+	fs.Parse(args)
+
+	store, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	names, err := store.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		tr, err := store.Get(n)
+		if err != nil {
+			return err
+		}
+		m := &tr.Manifest
+		samples := 0
+		for _, p := range m.Packets {
+			samples += p.Samples
+		}
+		fmt.Printf("%-20s %-12s %3d pkts %9d samples %2d-bit  seed %d  %q\n",
+			n, m.PHY, len(m.Packets), samples, m.Bits, m.Seed, m.Scenario)
+	}
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	dir := storeFlag(fs)
+	fs.Parse(args)
+
+	store, err := trace.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	removed, err := store.GC()
+	if err != nil {
+		return err
+	}
+	for _, h := range removed {
+		fmt.Printf("removed %016x\n", h)
+	}
+	fmt.Printf("gc: %d blobs removed\n", len(removed))
+	return nil
+}

@@ -33,12 +33,24 @@ func (s Spectrum) Peak() (bin int, dbm float64) {
 }
 
 // SFDR returns the spurious-free dynamic range in dB: the gap between the
-// peak bin and the strongest bin outside +-guard bins around the peak.
+// peak bin and the strongest bin outside ±guard bins around the peak. The
+// guard band wraps modulo the spectrum length — the axis is circular, so a
+// tone near ±SampleRate/2 keeps its full guard instead of having it
+// clipped at the array edge (which overstated SFDR by letting skirt bins
+// count as spurs on one side only). A guard covering every bin returns
+// +Inf.
 func (s Spectrum) SFDR(guard int) float64 {
+	n := len(s.PowerDBm)
 	peak, peakP := s.Peak()
 	worst := math.Inf(-1)
 	for i, p := range s.PowerDBm {
-		if i >= peak-guard && i <= peak+guard {
+		d := i - peak
+		if d < 0 {
+			d += n
+		}
+		// d is the circular offset 0..n-1; inside the guard when within
+		// guard bins in either direction around the ring.
+		if d <= guard || d >= n-guard {
 			continue
 		}
 		if p > worst {
@@ -48,54 +60,105 @@ func (s Spectrum) SFDR(guard int) float64 {
 	return peakP - worst
 }
 
-// Welch estimates the power spectrum of x by averaging Hann-windowed
-// periodograms of length fftSize with 50% overlap. The estimate is
-// calibrated so a full-scale tone reads its true power in dBm.
-func Welch(x iq.Samples, fftSize int, sampleRate float64) Spectrum {
+// WelchPlan holds the FFT plan, window and scratch for repeated Welch
+// estimates of one FFT size — the plan+scratch idiom of the demod hot
+// paths applied to the spectrum-sensing workload, where thousands of
+// simulated nodes stream periodograms through one reused plan. After
+// construction, EstimateInto performs no heap allocation. A WelchPlan owns
+// scratch and is single-goroutine; give each worker its own.
+type WelchPlan struct {
+	plan *FFTPlan
+	win  []float64
+	// winSum[k] is the running window sum over win[:k]; winSum[n] is the
+	// full coherent-gain numerator. Precomputing it keeps the short-input
+	// calibration (populated-fraction gain) allocation- and loop-free.
+	winSum []float64
+	seg    iq.Samples
+	acc    []float64
+}
+
+// NewWelchPlan returns a reusable estimator for the given FFT size, which
+// must be a power of two (it panics otherwise, like NewFFTPlan).
+func NewWelchPlan(fftSize int) *WelchPlan {
 	if !IsPowerOfTwo(fftSize) {
 		panic("dsp: Welch fftSize must be a power of two")
 	}
-	win := Hann(fftSize)
-	var coherentGain float64
-	for _, w := range win {
-		coherentGain += w
+	w := &WelchPlan{
+		plan:   NewFFTPlan(fftSize),
+		win:    Hann(fftSize),
+		winSum: make([]float64, fftSize+1),
+		seg:    make(iq.Samples, fftSize),
+		acc:    make([]float64, fftSize),
 	}
-	coherentGain /= float64(fftSize)
+	for i, v := range w.win {
+		w.winSum[i+1] = w.winSum[i] + v
+	}
+	return w
+}
 
-	acc := make([]float64, fftSize)
+// Size returns the FFT size the plan was built for.
+func (w *WelchPlan) Size() int { return len(w.win) }
+
+// EstimateInto computes the calibrated Welch power spectrum of x into dst
+// (len(dst) must equal the plan's FFT size; it panics otherwise) and
+// returns the Spectrum viewing dst. Hann-windowed periodograms with 50%
+// overlap are averaged; an input shorter than one segment is zero-padded
+// into a single window and the calibration scaled by the populated window
+// fraction, so a tone reads its true power regardless of capture length
+// (normalizing a partial window by the full-window coherent gain
+// under-read short captures). It performs no heap allocation.
+func (w *WelchPlan) EstimateInto(dst []float64, x iq.Samples, sampleRate float64) Spectrum {
+	n := len(w.win)
+	if len(dst) != n {
+		panic("dsp: Welch dst length must equal the plan's FFT size")
+	}
+	for i := range w.acc {
+		w.acc[i] = 0
+	}
 	segments := 0
-	step := fftSize / 2
-	for start := 0; start+fftSize <= len(x); start += step {
-		seg := make(iq.Samples, fftSize)
-		for i := range seg {
-			seg[i] = x[start+i] * complex(win[i], 0)
+	for start := 0; start+n <= len(x); start += n / 2 {
+		for i := range w.seg {
+			w.seg[i] = x[start+i] * complex(w.win[i], 0)
 		}
-		FFT(seg)
-		for i, v := range seg {
-			m := real(v)*real(v) + imag(v)*imag(v)
-			acc[i] += m
+		w.plan.Transform(w.seg)
+		for i, v := range w.seg {
+			w.acc[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 		segments++
 	}
+	coherent := w.winSum[n] / float64(n)
 	if segments == 0 {
-		// Input shorter than one segment: zero-pad a single window.
-		seg := make(iq.Samples, fftSize)
-		for i := 0; i < len(x); i++ {
-			seg[i] = x[i] * complex(win[i], 0)
+		// Input shorter than one segment: zero-pad a single window and
+		// calibrate against the window mass the capture actually filled.
+		for i := range w.seg {
+			if i < len(x) {
+				w.seg[i] = x[i] * complex(w.win[i], 0)
+			} else {
+				w.seg[i] = 0
+			}
 		}
-		FFT(seg)
-		for i, v := range seg {
-			acc[i] = real(v)*real(v) + imag(v)*imag(v)
+		w.plan.Transform(w.seg)
+		for i, v := range w.seg {
+			w.acc[i] = real(v)*real(v) + imag(v)*imag(v)
 		}
 		segments = 1
+		coherent = w.winSum[min(len(x), n)] / float64(n)
 	}
 
-	norm := 1 / (float64(segments) * float64(fftSize) * float64(fftSize) * coherentGain * coherentGain)
-	out := Spectrum{SampleRate: sampleRate, PowerDBm: make([]float64, fftSize)}
-	for i := range acc {
+	norm := 1 / (float64(segments) * float64(n) * float64(n) * coherent * coherent)
+	for i := range w.acc {
 		// FFT-shift so the result is DC-centered.
-		src := (i + fftSize/2) % fftSize
-		out.PowerDBm[i] = iq.MilliwattsToDBm(acc[src] * norm)
+		src := (i + n/2) % n
+		dst[i] = iq.MilliwattsToDBm(w.acc[src] * norm)
 	}
-	return out
+	return Spectrum{SampleRate: sampleRate, PowerDBm: dst}
+}
+
+// Welch estimates the power spectrum of x by averaging Hann-windowed
+// periodograms of length fftSize with 50% overlap. The estimate is
+// calibrated so a full-scale tone reads its true power in dBm. It is the
+// one-shot convenience form of WelchPlan; repeated estimates should hold a
+// plan and call EstimateInto.
+func Welch(x iq.Samples, fftSize int, sampleRate float64) Spectrum {
+	return NewWelchPlan(fftSize).EstimateInto(make([]float64, fftSize), x, sampleRate)
 }

@@ -29,10 +29,23 @@ func DecodeInt16(data []byte, bits int, fullScale float64) (Samples, error) {
 		return nil, fmt.Errorf("iq: capture of %d bytes is not int16 I/Q pairs", len(data))
 	}
 	out := make(Samples, len(data)/4)
-	for i := range out {
+	DecodeInt16Into(out, data, bits, fullScale)
+	return out, nil
+}
+
+// DecodeInt16Into decodes data into dst, whose length must be exactly
+// len(data)/4 with data a whole number of int16 I/Q pairs (it panics
+// otherwise — length mismatches on the replay hot path are caller bugs,
+// not data errors, which DecodeInt16 screens first). It performs no
+// allocation, so a replay source can stream packets through one scratch
+// buffer.
+func DecodeInt16Into(dst Samples, data []byte, bits int, fullScale float64) {
+	if len(data)%4 != 0 || len(dst) != len(data)/4 {
+		panic(fmt.Sprintf("iq: decode of %d bytes into %d samples", len(data), len(dst)))
+	}
+	for i := range dst {
 		re := int16(binary.LittleEndian.Uint16(data[4*i:]))
 		im := int16(binary.LittleEndian.Uint16(data[4*i+2:]))
-		out[i] = complex(CodeToValue(int32(re), bits, fullScale), CodeToValue(int32(im), bits, fullScale))
+		dst[i] = complex(CodeToValue(int32(re), bits, fullScale), CodeToValue(int32(im), bits, fullScale))
 	}
-	return out, nil
 }

@@ -44,3 +44,36 @@ func TestDecodeInt16RejectsRaggedInput(t *testing.T) {
 		t.Error("ragged capture accepted")
 	}
 }
+
+func TestDecodeInt16IntoMatchesDecode(t *testing.T) {
+	s := make(Samples, 64)
+	for i := range s {
+		s[i] = complex(math.Sin(float64(i)/5), math.Cos(float64(i)/7))
+	}
+	enc := EncodeInt16(s, 13, 2.0)
+	want, err := DecodeInt16(enc, 13, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(Samples, len(s))
+	DecodeInt16Into(dst, enc, 13, 2.0)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("sample %d: Into %v, Decode %v", i, dst[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		DecodeInt16Into(dst, enc, 13, 2.0)
+	}); allocs != 0 {
+		t.Errorf("DecodeInt16Into allocates %.0f objects/op, want 0", allocs)
+	}
+}
+
+func TestDecodeInt16IntoPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecodeInt16Into(make(Samples, 3), make([]byte, 8), 13, 2.0)
+}

@@ -130,11 +130,31 @@ func StoreBlocks(src []byte, blockSize int) []Block {
 // ErrCorrupt reports a malformed compressed stream.
 var ErrCorrupt = errors.New("lzo: corrupt stream")
 
+// initialCap bounds the speculative output allocation: the declared output
+// length is attacker-controlled metadata (a manifest field), so nothing is
+// allocated beyond this until the stream actually produces bytes.
+const initialCap = 64 << 10
+
 // Decompress expands src into a buffer of exactly outLen bytes. It fails on
 // malformed streams, wrong lengths, or references outside the window. Memory
-// use is the output buffer alone, matching the MCU constraint of §3.4.
+// use is the output buffer alone, matching the MCU constraint of §3.4; the
+// buffer grows with the decoded stream rather than trusting outLen up
+// front, so a hostile length cannot demand a multi-GB allocation before the
+// first token is parsed. Callers that know their block size should prefer
+// DecompressLimit and pass it as the cap.
 func Decompress(src []byte, outLen int) ([]byte, error) {
-	out := make([]byte, 0, outLen)
+	return DecompressLimit(src, outLen, outLen)
+}
+
+// DecompressLimit is Decompress with an explicit ceiling on the declared
+// output length: a corrupt or hostile header whose outLen exceeds maxLen
+// (the caller's known block size — ota.BlockSize, a trace blob's sample
+// count) is rejected before any allocation or parsing.
+func DecompressLimit(src []byte, outLen, maxLen int) ([]byte, error) {
+	if outLen < 0 || outLen > maxLen {
+		return nil, fmt.Errorf("lzo: declared output %d outside [0, %d]: %w", outLen, maxLen, ErrCorrupt)
+	}
+	out := make([]byte, 0, min(outLen, initialCap))
 	i := 0
 	for i < len(src) {
 		token := src[i]
@@ -144,6 +164,7 @@ func Decompress(src []byte, outLen int) ([]byte, error) {
 			if i+run > len(src) || len(out)+run > outLen {
 				return nil, ErrCorrupt
 			}
+			out = grow(out, run, outLen)
 			out = append(out, src[i:i+run]...)
 			i += run
 			continue
@@ -174,16 +195,53 @@ func Decompress(src []byte, outLen int) ([]byte, error) {
 		if len(out)+length > outLen {
 			return nil, ErrCorrupt
 		}
-		// Byte-wise copy: overlapping matches encode runs.
-		start := len(out) - dist
-		for k := 0; k < length; k++ {
-			out = append(out, out[start+k])
-		}
+		out = matchCopy(grow(out, length, outLen), dist, length)
 	}
 	if len(out) != outLen {
 		return nil, fmt.Errorf("lzo: decompressed %d bytes, want %d", len(out), outLen)
 	}
 	return out, nil
+}
+
+// grow ensures capacity for n more bytes, doubling up to the validated
+// output length so growth is amortized without ever over-allocating past
+// what the stream is entitled to produce.
+func grow(out []byte, n, outLen int) []byte {
+	if cap(out)-len(out) >= n {
+		return out
+	}
+	newCap := min(max(2*cap(out), len(out)+n), outLen)
+	bigger := make([]byte, len(out), newCap)
+	copy(bigger, out)
+	return bigger
+}
+
+// matchCopy extends out by length bytes copied from dist bytes back. out
+// must already have the capacity (see grow). Non-overlapping matches are a
+// single copy; overlapping ones (runs with period dist) seed one period and
+// double it, so a long zero-run match costs O(log) copies instead of one
+// byte per iteration — the node reassembly hot path. Very short periods
+// stay byte-wise: the doubling bookkeeping costs more than it saves there.
+func matchCopy(out []byte, dist, length int) []byte {
+	n := len(out)
+	out = out[:n+length]
+	start := n - dist
+	switch {
+	case dist >= length:
+		copy(out[n:], out[start:start+length])
+	case dist >= 8:
+		copy(out[n:n+dist], out[start:n])
+		for c := dist; c < length; {
+			chunk := min(c, length-c)
+			copy(out[n+c:n+c+chunk], out[n:n+c])
+			c += chunk
+		}
+	default:
+		for k := 0; k < length; k++ {
+			out[n+k] = out[start+k]
+		}
+	}
+	return out
 }
 
 // Block is one independently compressed segment of a firmware image.

@@ -50,6 +50,52 @@ func TestRoundTripRandomProperty(t *testing.T) {
 	}
 }
 
+// TestRoundTripPeriodicRuns exercises every overlap-copy path in
+// matchCopy: periods below the byte-wise threshold, at it, and above it,
+// against match lengths shorter and far longer than the period.
+func TestRoundTripPeriodicRuns(t *testing.T) {
+	for _, period := range []int{1, 2, 3, 7, 8, 9, 16, 64, 255} {
+		pattern := make([]byte, period)
+		for i := range pattern {
+			pattern[i] = byte(i*37 + 11)
+		}
+		for _, reps := range []int{2, 3, 100, 5000} {
+			data := bytes.Repeat(pattern, reps)
+			comp := Compress(data, nil)
+			got, err := Decompress(comp, len(data))
+			if err != nil {
+				t.Fatalf("period %d reps %d: %v", period, reps, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("period %d reps %d: round trip mismatch", period, reps)
+			}
+		}
+	}
+}
+
+// TestDecompressLimitRejectsOversizedDeclaration pins the hostile-manifest
+// fix: a declared output length beyond the caller's cap (or negative) must
+// fail before any parsing, and a valid stream within the cap still decodes.
+func TestDecompressLimitRejectsOversizedDeclaration(t *testing.T) {
+	data := []byte("thirty-kilobyte-block-goes-here")
+	comp := Compress(data, nil)
+	if _, err := DecompressLimit(comp, len(data), len(data)-1); err == nil {
+		t.Error("outLen above cap not rejected")
+	}
+	if _, err := DecompressLimit(comp, -1, 1<<20); err == nil {
+		t.Error("negative outLen not rejected")
+	}
+	if _, err := DecompressLimit(nil, 1<<62, 1<<62); err == nil {
+		// The incremental-growth path: a huge declared length with an
+		// empty stream must fail on the length check, not allocate.
+		t.Error("empty stream with huge outLen not rejected")
+	}
+	got, err := DecompressLimit(comp, len(data), len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("valid stream at exact cap: %q, %v", got, err)
+	}
+}
+
 func TestZeroRunsCollapse(t *testing.T) {
 	// The bitstream property §5.3 relies on: unused configuration frames
 	// (zeros) must compress to well under 1%.
@@ -199,6 +245,34 @@ func BenchmarkDecompress(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
 	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressZeroRun pins the overlap-copy hot path of node image
+// reassembly: a 30 kB all-zero block decodes as one long overlapping match.
+func BenchmarkDecompressZeroRun(b *testing.B) {
+	data := make([]byte, 30*1024)
+	comp := Compress(data, nil)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressFirmware pins the mixed literal/match path on
+// structured firmware-like data.
+func BenchmarkDecompressFirmware(b *testing.B) {
+	data := bytes.Repeat([]byte("MODULE lora_demodulator PORT(clk, rst_n, iq_in, sym_out); "), 520)[:30*1024]
+	comp := Compress(data, nil)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Decompress(comp, len(data)); err != nil {
 			b.Fatal(err)

@@ -196,7 +196,7 @@ func (n *Node) Finish(design *fpga.Design) (DecompressStats, error) {
 
 	addr := target
 	for i, b := range blocks {
-		raw, err := lzo.Decompress(b.Data, b.RawLen)
+		raw, err := lzo.DecompressLimit(b.Data, b.RawLen, BlockSize)
 		if err != nil {
 			return stats, fmt.Errorf("ota: block %d: %w", i, err)
 		}

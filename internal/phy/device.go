@@ -1,0 +1,54 @@
+package phy
+
+import "github.com/uwsdr/tinysdr/internal/iq"
+
+// The device seam: Source and Sink are the two directions of a sample
+// device, mirroring the Pluto/SoapySDR-class abstractions of real SDR
+// stacks. Demod code never learns whether its samples came from the live
+// modulator-and-scenario pipeline, a stored trace, or (later) hardware —
+// a Link binds whichever side is present and the measurement loop is
+// unchanged. internal/trace implements both sides for the record/replay
+// store; a hardware backend would implement them over a USB or network
+// stream.
+
+// Source supplies received baseband packets by index. A replay Link pulls
+// packet k from its Source instead of running the modulator and channel,
+// so a stored capture reproduces a live run bit for bit.
+//
+// Sources own scratch (the returned slice is typically reused between
+// calls) and are single-goroutine, like the modems they stand in for;
+// trial-parallel replay gives each worker its own Source.
+type Source interface {
+	// Name identifies the device, e.g. "trace:lora".
+	Name() string
+	// SampleRate is the baseband rate of the packets in Hz; it must match
+	// the RX modem the source is bound to.
+	SampleRate() float64
+	// Packets is how many packet indices the source can serve; ReadPacket
+	// accepts 0..Packets()-1.
+	Packets() int
+	// ReadPacket returns the received waveform of packet k. The slice is
+	// valid until the next call.
+	ReadPacket(k int) (iq.Samples, error)
+}
+
+// Sink observes received baseband packets as a Link produces them — the
+// capture tap on the channel output. A recording Sink models the receive
+// ADC: it MAY quantize sig in place (the converter the real platform puts
+// between antenna and demodulator), and the Link demodulates the waveform
+// the Sink left behind. That contract is what makes replay exact: the
+// recorded run itself demodulates the quantized samples a later replay
+// will decode, so live and replayed metrics are byte-identical rather
+// than merely close.
+//
+// Sinks are single-goroutine; packets arrive in ascending k order within
+// one Run/Probe sequence.
+type Sink interface {
+	// Name identifies the device, e.g. "trace-recorder".
+	Name() string
+	// SampleRate is the baseband rate the sink expects in Hz.
+	SampleRate() float64
+	// WritePacket hands over packet k's received waveform. It may modify
+	// sig in place (quantization); it must not retain the slice.
+	WritePacket(k int, sig iq.Samples) error
+}

@@ -2,11 +2,17 @@ package phy
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"github.com/uwsdr/tinysdr/internal/channel"
 	"github.com/uwsdr/tinysdr/internal/iq"
 )
+
+// errDevice marks Source/Sink I/O failures inside the pipeline. Probe and
+// Run propagate these as hard errors — a truncated trace or a full disk is
+// a harness problem, never a packet loss.
+var errDevice = errors.New("phy: device I/O")
 
 // Link binds a TX modem, a composed channel scenario and an RX modem into
 // one reproducible pipeline: modulate → scenario → demodulate. Every
@@ -22,6 +28,13 @@ type Link struct {
 	scenario *channel.Scenario
 	seed     int64
 	sent     int
+
+	// src replaces the modulate→scenario front half when non-nil: packet
+	// waveforms come from the device (a stored trace, later hardware)
+	// instead of the live pipeline. tap observes (and may quantize) every
+	// received waveform before demodulation — the capture seam.
+	src Source
+	tap Sink
 
 	txBuf   iq.Samples
 	txValid bool   // txBuf holds the waveform for lastPld
@@ -61,6 +74,39 @@ func Open(tx, rx Modem, sc *channel.Scenario, seed int64) (*Link, error) {
 	}
 	return &Link{tx: tx, rx: rx, scenario: sc, seed: seed}, nil
 }
+
+// OpenReplay binds a Source to an RX modem: packet k comes from the
+// device instead of the live modulator and channel, and demodulation,
+// loss accounting and power measurement run exactly as in a live Link.
+// The source and modem must agree on the sample rate. Replay needs no
+// seed — every waveform is literal — so runs are deterministic by
+// construction at any worker count.
+func OpenReplay(src Source, rx Modem) (*Link, error) {
+	if src == nil || rx == nil {
+		return nil, fmt.Errorf("phy: replay link needs a source and an RX modem")
+	}
+	if src.SampleRate() != rx.SampleRate() {
+		return nil, fmt.Errorf("phy: source %s at %g Hz vs RX %s at %g Hz — resample one side first",
+			src.Name(), src.SampleRate(), rx.Name(), rx.SampleRate())
+	}
+	return &Link{rx: rx, src: src, scenario: channel.NewScenario()}, nil
+}
+
+// Tap installs a Sink on the channel output: every subsequent packet's
+// received waveform is handed to it (which may quantize in place — see
+// Sink) before demodulation. A nil sink removes the tap. The sink must
+// match the link's RX sample rate.
+func (l *Link) Tap(s Sink) error {
+	if s != nil && s.SampleRate() != l.rx.SampleRate() {
+		return fmt.Errorf("phy: tap %s at %g Hz vs RX %s at %g Hz",
+			s.Name(), s.SampleRate(), l.rx.Name(), l.rx.SampleRate())
+	}
+	l.tap = s
+	return nil
+}
+
+// Source returns the bound replay source, or nil for a live link.
+func (l *Link) Source() Source { return l.src }
 
 // Rebind swaps the channel scenario and seed while keeping the modems,
 // scratch buffers and cached TX waveform: a sweep rebinds its worker's
@@ -103,11 +149,15 @@ func (l *Link) ensureWave(payload []byte) error {
 		return nil
 	}
 	l.txValid = false
-	wave, err := l.tx.ModulateInto(l.txBuf, payload)
-	if err != nil {
-		return err
+	if l.src == nil {
+		wave, err := l.tx.ModulateInto(l.txBuf, payload)
+		if err != nil {
+			return err
+		}
+		l.txBuf = wave
 	}
-	l.txBuf = wave
+	// A replay link never modulates: the payload is only the comparison
+	// baseline for loss accounting.
 	l.lastPld = append(l.lastPld[:0], payload...)
 	l.txValid = true
 	return nil
@@ -128,12 +178,33 @@ func (l *Link) transfer(k int, payload []byte) (got []byte, rx iq.Samples, err e
 // demod scratch (e.g. the slice a previous Send returned) cannot be
 // clobbered mid-run.
 func (l *Link) transferCached(k int) (got []byte, rx iq.Samples, err error) {
-	wave := l.txBuf
-	if cap(l.rxBuf) < len(wave) {
-		l.rxBuf = make(iq.Samples, len(wave))
+	if l.src != nil {
+		// Replay: the stored waveform already includes the channel and
+		// the capture quantization. Reading past the trace is a harness
+		// bug, surfaced as an error rather than counted as packet loss.
+		if k < 0 || k >= l.src.Packets() {
+			return nil, nil, fmt.Errorf("%w: replay packet %d outside trace of %d", errDevice, k, l.src.Packets())
+		}
+		if rx, err = l.src.ReadPacket(k); err != nil {
+			return nil, nil, fmt.Errorf("%w: replay packet %d: %w", errDevice, k, err)
+		}
+	} else {
+		wave := l.txBuf
+		if cap(l.rxBuf) < len(wave) {
+			l.rxBuf = make(iq.Samples, len(wave))
+		}
+		l.scenario.Reset(l.seed, k)
+		rx = l.scenario.ApplyInto(l.rxBuf[:len(wave)], wave)
 	}
-	l.scenario.Reset(l.seed, k)
-	rx = l.scenario.ApplyInto(l.rxBuf[:len(wave)], wave)
+	if l.tap != nil {
+		// The tap is the ADC model: it may quantize rx in place, and the
+		// demodulator below sees what the tap left — which is exactly what
+		// a replay of the capture will decode. A tap failure is an I/O
+		// error (disk, encode), not a channel loss.
+		if err := l.tap.WritePacket(k, rx); err != nil {
+			return nil, rx, fmt.Errorf("%w: tap packet %d: %w", errDevice, k, err)
+		}
+	}
 	got, err = l.rx.DemodulateFrom(l.pld, rx)
 	if err != nil {
 		return nil, rx, err
@@ -155,6 +226,9 @@ func (l *Link) Probe(payload []byte, k int) (lost bool, err error) {
 		return false, err
 	}
 	got, _, err := l.transferCached(k)
+	if errors.Is(err, errDevice) {
+		return false, err
+	}
 	return err != nil || !bytes.Equal(got, l.lastPld), nil
 }
 
@@ -168,6 +242,9 @@ func (l *Link) Run(payload []byte, packets int) (Stats, error) {
 	if packets <= 0 {
 		return Stats{}, fmt.Errorf("phy: run needs at least one packet, got %d", packets)
 	}
+	if l.src != nil && packets > l.src.Packets() {
+		return Stats{}, fmt.Errorf("phy: run of %d packets exceeds trace of %d", packets, l.src.Packets())
+	}
 	if err := l.ensureWave(payload); err != nil {
 		return Stats{}, err
 	}
@@ -178,6 +255,9 @@ func (l *Link) Run(payload []byte, packets int) (Stats, error) {
 		// caller's slice: if that slice aliases the demod scratch, a
 		// decode would overwrite the comparison baseline in place.
 		got, rx, err := l.transferCached(k)
+		if errors.Is(err, errDevice) {
+			return Stats{}, err
+		}
 		if err != nil || !bytes.Equal(got, l.lastPld) {
 			st.Failures++
 		}

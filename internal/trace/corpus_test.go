@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestCommittedCorpusReplays is the cross-version A/B gate: every trace
+// committed under testdata/traces must replay byte-identically to the run
+// that recorded it, at one worker and at full parallelism. A demodulator
+// change that bends behavior on these waveforms fails here — regenerate
+// the corpus with cmd/tinysdr-trace only when the change is intentional.
+func TestCommittedCorpusReplays(t *testing.T) {
+	store, err := OpenStore("../../testdata/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("committed corpus is empty")
+	}
+	sawFailures := false
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			tr, err := store.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Manifest.Failures > 0 {
+				sawFailures = true
+			}
+			for _, workers := range []int{1, runtime.NumCPU()} {
+				if err := Verify(tr, workers); err != nil {
+					t.Fatalf("verify at %d workers: %v", workers, err)
+				}
+			}
+		})
+	}
+	if !sawFailures {
+		// The corpus must keep exercising the loss-record path, not only
+		// clean captures.
+		t.Error("no committed trace records any packet loss")
+	}
+}

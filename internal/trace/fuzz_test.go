@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedManifest builds a small real manifest for the fuzz corpus.
+func fuzzSeedManifest(tb testing.TB) []byte {
+	tb.Helper()
+	m := Manifest{
+		Meta: Meta{
+			PHY:        "lora",
+			Seed:       7,
+			SampleRate: 1e6,
+			Bits:       13,
+			Scenario:   "fading=rician:12,cfojitter=50",
+			Payload:    []byte("tinysdr-phy-golden"),
+		},
+		Failures: 1,
+		RSSIdBm:  -108.25,
+		Packets: []Packet{
+			{Hash: 0xdeadbeefcafe0001, Samples: 64, FullScale: 2.5e-6},
+			{Hash: 0xdeadbeefcafe0002, Samples: 96, FullScale: 1.25e-6},
+			{Hash: 0xdeadbeefcafe0001, Samples: 64, FullScale: 2.5e-6},
+		},
+		Failed: []bool{false, true, false},
+	}
+	wire, err := m.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return wire
+}
+
+// FuzzManifestUnmarshal feeds mutated wire manifests through the strict
+// parser: it must never panic, and — the canonical-form contract — any
+// input it accepts must re-marshal to the identical bytes.
+func FuzzManifestUnmarshal(f *testing.F) {
+	f.Add(fuzzSeedManifest(f))
+	f.Add([]byte{})
+	f.Add([]byte(manifestMagic))
+	f.Add(bytes.Repeat([]byte{0xff}, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Manifest
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		wire, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(wire, data) {
+			t.Fatalf("accepted manifest is not canonical:\n in  %x\n out %x", data, wire)
+		}
+	})
+}
+
+func TestManifestWireRoundTrip(t *testing.T) {
+	wire := fuzzSeedManifest(t)
+	var m Manifest
+	if err := m.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, wire) {
+		t.Fatal("manifest wire form not canonical")
+	}
+	if m.PHY != "lora" || m.Bits != 13 || len(m.Packets) != 3 || !m.Failed[1] {
+		t.Fatalf("manifest fields lost: %+v", m)
+	}
+	st := m.Stats()
+	if st.Packets != 3 || st.Failures != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestManifestUnmarshalRejectsCorruption(t *testing.T) {
+	wire := fuzzSeedManifest(t)
+	cases := map[string]func([]byte) []byte{
+		"bad magic":     func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad version":   func(b []byte) []byte { b[4] = 0xff; return b },
+		"truncated":     func(b []byte) []byte { return b[:len(b)-5] },
+		"trailing":      func(b []byte) []byte { return append(b, 0) },
+		"flipped crc":   func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"flipped body":  func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b },
+		"empty":         func(b []byte) []byte { return nil },
+		"magic only":    func(b []byte) []byte { return b[:4] },
+		"empty phyName": func(b []byte) []byte { b[6] = 0; return b },
+	}
+	for name, mutate := range cases {
+		in := mutate(append([]byte(nil), wire...))
+		var m Manifest
+		if err := m.UnmarshalBinary(in); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestManifestMarshalRejectsInvalid(t *testing.T) {
+	valid := Manifest{
+		Meta:    Meta{PHY: "lora", SampleRate: 1e6, Bits: 13},
+		Packets: []Packet{{Hash: 1, Samples: 4, FullScale: 1}},
+		Failed:  []bool{false},
+	}
+	if _, err := valid.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Manifest){
+		"empty phy":       func(m *Manifest) { m.PHY = "" },
+		"bits":            func(m *Manifest) { m.Bits = 17 },
+		"rate":            func(m *Manifest) { m.SampleRate = -1 },
+		"no packets":      func(m *Manifest) { m.Packets = nil },
+		"flags mismatch":  func(m *Manifest) { m.Failed = nil },
+		"failures count":  func(m *Manifest) { m.Failures = 1 },
+		"packet samples":  func(m *Manifest) { m.Packets[0].Samples = MaxPacketSamples + 1 },
+		"packet scale":    func(m *Manifest) { m.Packets[0].FullScale = 0 },
+		"scenario length": func(m *Manifest) { m.Scenario = string(make([]byte, 65536)) },
+	}
+	for name, mutate := range mutations {
+		m := valid
+		m.Packets = append([]Packet(nil), valid.Packets...)
+		m.Failed = append([]bool(nil), valid.Failed...)
+		mutate(&m)
+		if _, err := m.MarshalBinary(); err == nil {
+			t.Errorf("%s: marshaled", name)
+		}
+	}
+}

@@ -70,6 +70,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/radio"
 	"github.com/uwsdr/tinysdr/internal/sim/scenario"
 	"github.com/uwsdr/tinysdr/internal/testbed"
+	"github.com/uwsdr/tinysdr/internal/trace"
 )
 
 // Modem is one protocol's physical layer behind the protocol-agnostic PHY
@@ -124,6 +125,68 @@ func NewBackscatterModem(c BackscatterConfig) (Modem, error) {
 func OpenLink(tx, rx Modem, sc *ChannelScenario, seed int64) (*Link, error) {
 	return phy.Open(tx, rx, sc, seed)
 }
+
+// SampleSource is the replay side of the device seam: a sample device
+// serving received baseband packets by index (a stored trace, later
+// hardware), mirroring the Pluto/SoapySDR-class source abstractions. A
+// replay Link pulls packets from it instead of running the modulator and
+// channel.
+type SampleSource = phy.Source
+
+// SampleSink is the capture side of the device seam: a tap on the
+// channel output that observes — and, modelling the receive ADC, may
+// quantize in place — every waveform before demodulation (Link.Tap).
+type SampleSink = phy.Sink
+
+// OpenReplayLink binds a SampleSource to an RX modem: demodulation, loss
+// accounting and power measurement run exactly as on a live Link, but
+// every waveform is literal, so runs are deterministic by construction.
+func OpenReplayLink(src SampleSource, rx Modem) (*Link, error) {
+	return phy.OpenReplay(src, rx)
+}
+
+// TraceMeta identifies what an IQ trace captured: protocol, seed,
+// scenario recipe, payload and quantization.
+type TraceMeta = trace.Meta
+
+// TracePacket locates one captured packet inside a trace: content hash,
+// sample count and the per-packet converter full scale.
+type TracePacket = trace.Packet
+
+// Trace is one recorded capture: a manifest plus the content-addressed
+// code blobs its packets reference.
+type Trace = trace.Trace
+
+// TraceStore is the on-disk trace store: binary manifests plus shared
+// FNV-addressed, lzo-compressed blobs (see cmd/tinysdr-trace).
+type TraceStore = trace.Store
+
+// OpenTraceStore opens (creating if needed) a trace store rooted at dir.
+func OpenTraceStore(dir string) (*TraceStore, error) { return trace.OpenStore(dir) }
+
+// RecordTrace captures a live link run — packets indices 0..packets-1
+// with a recording ADC tap installed — into a replayable Trace whose
+// manifest pins the run's per-packet losses and RSSI.
+func RecordTrace(link *Link, meta TraceMeta, packets int) (*Trace, error) {
+	return trace.Record(link, meta, packets)
+}
+
+// OpenTraceReplay binds a trace to a fresh RX modem of its recorded PHY;
+// the returned Link replays the stored waveforms bit-exactly.
+func OpenTraceReplay(t *Trace) (*Link, error) { return trace.OpenReplay(t) }
+
+// NewTraceSource returns a SampleSource serving a trace's packets, for
+// binding to an RX modem via OpenReplayLink.
+func NewTraceSource(t *Trace) (SampleSource, error) { return trace.NewSource(t) }
+
+// ReplayTrace re-demodulates a whole trace across a worker pool and
+// returns the measured stats — byte-identical at any worker count.
+func ReplayTrace(t *Trace, workers int) (LinkStats, error) { return trace.Replay(t, workers) }
+
+// VerifyTrace replays a trace and diffs per-packet losses, PER and RSSI
+// byte-for-byte against the recorded manifest — the cross-version A/B
+// gate CI runs on the committed testdata/traces corpus.
+func VerifyTrace(t *Trace, workers int) error { return trace.Verify(t, workers) }
 
 // InterfererWaveform builds the canonical interference waveform of any
 // registered PHY at a victim link's sample rate — the protocol-generic
