@@ -1,0 +1,129 @@
+package dsp
+
+import (
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// WelchStream is the chunked form of WelchPlan.EstimateInto: samples
+// arrive in arbitrarily-sized chunks (the phy.Stream contract) and
+// periodograms are accumulated as each Hann window fills, so a consumer's
+// working set is one chunk plus the plan's window — never the whole
+// capture. For the same sample sequence, FinishInto is bit-identical to a
+// one-shot EstimateInto regardless of how the sequence was chunked,
+// including the short-input populated-fraction calibration.
+//
+// After construction, Extend and FinishInto perform no heap allocation. A
+// WelchStream owns scratch and is single-goroutine; give each worker its
+// own, like the plan it wraps.
+type WelchStream struct {
+	plan *WelchPlan
+	// carry holds the unprocessed stream tail: up to one full window plus
+	// the samples of the chunk currently being absorbed.
+	carry    iq.Samples
+	fill     int
+	total    int
+	segments int
+	seg      iq.Samples
+	acc      []float64
+}
+
+// Stream returns a chunked estimator over the plan. The stream keeps its
+// own segment scratch, so it may be used alongside the plan's one-shot
+// EstimateInto (but shares nothing across goroutines).
+func (w *WelchPlan) Stream() *WelchStream {
+	n := w.Size()
+	return &WelchStream{
+		plan:  w,
+		carry: make(iq.Samples, 2*n),
+		seg:   make(iq.Samples, n),
+		acc:   make([]float64, n),
+	}
+}
+
+// Reset discards all absorbed samples, ready for a fresh estimate.
+func (s *WelchStream) Reset() {
+	s.fill, s.total, s.segments = 0, 0, 0
+	for i := range s.acc {
+		s.acc[i] = 0
+	}
+}
+
+// Extend absorbs the next chunk of the stream, accumulating a windowed
+// periodogram whenever a full segment (50% overlap, matching
+// EstimateInto's walk) completes.
+func (s *WelchStream) Extend(chunk iq.Samples) {
+	n := s.plan.Size()
+	for len(chunk) > 0 {
+		c := copy(s.carry[s.fill:], chunk)
+		chunk = chunk[c:]
+		s.fill += c
+		s.total += c
+		for s.fill >= n {
+			s.accumulate(s.carry[:n])
+			copy(s.carry, s.carry[n/2:s.fill])
+			s.fill -= n / 2
+		}
+	}
+}
+
+// accumulate processes one full window, exactly as EstimateInto's segment
+// loop does.
+func (s *WelchStream) accumulate(x iq.Samples) {
+	w := s.plan
+	for i := range s.seg {
+		s.seg[i] = x[i] * complex(w.win[i], 0)
+	}
+	w.plan.Transform(s.seg)
+	for i, v := range s.seg {
+		s.acc[i] += real(v)*real(v) + imag(v)*imag(v)
+	}
+	s.segments++
+}
+
+// FinishInto computes the calibrated spectrum of everything absorbed since
+// the last Reset into dst (len(dst) must equal the plan's FFT size; it
+// panics otherwise) and returns the Spectrum viewing dst. A stream shorter
+// than one segment takes the same zero-padded single-window path as
+// EstimateInto, calibrated by the populated window fraction. The stream
+// remains extendable: a later Extend + FinishInto re-renders the estimate
+// over the longer prefix.
+func (s *WelchStream) FinishInto(dst []float64, sampleRate float64) Spectrum {
+	w := s.plan
+	n := w.Size()
+	if len(dst) != n {
+		panic("dsp: Welch dst length must equal the plan's FFT size")
+	}
+	segments := s.segments
+	coherent := w.winSum[n] / float64(n)
+	acc := s.acc
+	if segments == 0 {
+		// Everything absorbed still sits in carry (total < n): zero-pad a
+		// single window into seg and calibrate against the populated
+		// window mass, bit-for-bit the EstimateInto short-input path.
+		for i := range s.seg {
+			if i < s.total {
+				s.seg[i] = s.carry[i] * complex(w.win[i], 0)
+			} else {
+				s.seg[i] = 0
+			}
+		}
+		w.plan.Transform(s.seg)
+		for i, v := range s.seg {
+			s.seg[i] = complex(real(v)*real(v)+imag(v)*imag(v), 0)
+		}
+		segments = 1
+		coherent = w.winSum[min(s.total, n)] / float64(n)
+		norm := 1 / (float64(segments) * float64(n) * float64(n) * coherent * coherent)
+		for i := range dst {
+			src := (i + n/2) % n
+			dst[i] = iq.MilliwattsToDBm(real(s.seg[src]) * norm)
+		}
+		return Spectrum{SampleRate: sampleRate, PowerDBm: dst, ENBWBins: w.enbw}
+	}
+	norm := 1 / (float64(segments) * float64(n) * float64(n) * coherent * coherent)
+	for i := range dst {
+		src := (i + n/2) % n
+		dst[i] = iq.MilliwattsToDBm(acc[src] * norm)
+	}
+	return Spectrum{SampleRate: sampleRate, PowerDBm: dst, ENBWBins: w.enbw}
+}

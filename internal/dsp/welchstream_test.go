@@ -1,0 +1,135 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+func randSamples(seed int64, n int) iq.Samples {
+	rng := rand.New(rand.NewSource(seed))
+	x := make(iq.Samples, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// TestWelchStreamMatchesEstimateInto pins the chunking-invariance
+// contract: any chunk boundaries produce the same bits as the one-shot
+// estimate, for inputs shorter than a window, exactly one window, and
+// many overlapping windows.
+func TestWelchStreamMatchesEstimateInto(t *testing.T) {
+	const fft = 64
+	plan := NewWelchPlan(fft)
+	stream := plan.Stream()
+	ref := make([]float64, fft)
+	got := make([]float64, fft)
+	for _, total := range []int{1, 17, fft - 1, fft, fft + 1, fft * 3 / 2, fft * 4, 1000} {
+		x := randSamples(int64(total), total)
+		plan.EstimateInto(ref, x, 4e6)
+		for _, chunk := range []int{1, 5, fft / 2, fft, fft*2 + 3} {
+			stream.Reset()
+			for lo := 0; lo < total; lo += chunk {
+				hi := min(lo+chunk, total)
+				stream.Extend(x[lo:hi])
+			}
+			sp := stream.FinishInto(got, 4e6)
+			for i := range ref {
+				if math.Float64bits(ref[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("total %d chunk %d: bin %d %g != %g", total, chunk, i, got[i], ref[i])
+				}
+			}
+			if sp.SampleRate != 4e6 {
+				t.Fatalf("sample rate %g", sp.SampleRate)
+			}
+		}
+	}
+}
+
+// TestWelchStreamReusable: Reset must fully clear absorbed state, and a
+// Finish mid-stream must not corrupt later extension.
+func TestWelchStreamReusable(t *testing.T) {
+	const fft = 32
+	plan := NewWelchPlan(fft)
+	stream := plan.Stream()
+	ref := make([]float64, fft)
+	got := make([]float64, fft)
+
+	x := randSamples(7, 300)
+	// Pollute, then reset, then re-estimate.
+	stream.Extend(randSamples(8, 123))
+	stream.FinishInto(got, 1e6)
+	stream.Reset()
+	// Render an early prefix, keep extending, and check the full result.
+	stream.Extend(x[:100])
+	stream.FinishInto(got, 1e6)
+	stream.Extend(x[100:])
+	stream.FinishInto(got, 1e6)
+	plan.EstimateInto(ref, x, 1e6)
+	for i := range ref {
+		if math.Float64bits(ref[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("bin %d: %g != %g after reuse", i, got[i], ref[i])
+		}
+	}
+
+	// The short-input render path must also be non-destructive.
+	stream.Reset()
+	stream.Extend(x[:10])
+	stream.FinishInto(got, 1e6)
+	stream.Extend(x[10:])
+	stream.FinishInto(got, 1e6)
+	for i := range ref {
+		if math.Float64bits(ref[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("bin %d: %g != %g after short-path render", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestWelchStreamFinishIntoPanicsOnBadDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong dst length")
+		}
+	}()
+	NewWelchPlan(64).Stream().FinishInto(make([]float64, 63), 1e6)
+}
+
+// TestWelchStreamZeroAllocs pins the hot-path contract: after
+// construction, Extend and FinishInto never touch the heap.
+func TestWelchStreamZeroAllocs(t *testing.T) {
+	const fft = 128
+	plan := NewWelchPlan(fft)
+	stream := plan.Stream()
+	x := randSamples(9, 4*fft)
+	dst := make([]float64, fft)
+	n := testing.AllocsPerRun(50, func() {
+		stream.Reset()
+		for lo := 0; lo < len(x); lo += 96 {
+			stream.Extend(x[lo:min(lo+96, len(x))])
+		}
+		stream.FinishInto(dst, 4e6)
+	})
+	if n != 0 {
+		t.Fatalf("WelchStream allocates %.0f times per estimate, want 0", n)
+	}
+}
+
+func BenchmarkWelchStreamExtendFinish(b *testing.B) {
+	const fft = 256
+	plan := NewWelchPlan(fft)
+	stream := plan.Stream()
+	x := randSamples(11, 8*fft)
+	dst := make([]float64, fft)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Reset()
+		for lo := 0; lo < len(x); lo += fft / 2 {
+			stream.Extend(x[lo : lo+fft/2])
+		}
+		stream.FinishInto(dst, 4e6)
+	}
+}

@@ -205,6 +205,7 @@ func All() []Experiment {
 		{"mobility", "mobility: PER vs endpoint speed on the campus downlink", Mobility},
 		{"scenario", "composed-scenario PER vs RSSI for any -phy victim (-scenario flag)", ScenarioPER},
 		{"tracereplay", "trace store record/replay A/B gate for any -phy victim (-scenario flag)", TraceReplay},
+		{"sense", "crowd sensing: fleet spectrum sweep into a workers-invariant occupancy map", SenseSweep},
 		{"ablation-broadcast", "ablation: sequential vs broadcast fleet programming (§7)", AblationBroadcast},
 		{"fleetscale", "fleet-scale campaigns: broadcast vs unicast across N (§7 at scale)", FleetScale},
 		{"chaos", "chaos: completion and repair overhead vs fault intensity (-faults flag)", Chaos},

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+
+	"github.com/uwsdr/tinysdr/internal/httpjson"
 )
 
 // Status is a campaign's lifecycle state.
@@ -209,59 +211,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad spec: %w", err))
+			httpjson.Error(w, http.StatusBadRequest, fmt.Errorf("fleet: bad spec: %w", err))
 			return
 		}
 		c, err := s.Create(spec)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpjson.Error(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, c)
+		httpjson.Write(w, http.StatusCreated, c)
 	})
 	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.List())
+		httpjson.Write(w, http.StatusOK, s.List())
 	})
 	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
 		c, ok := s.Get(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown campaign %q", r.PathValue("id")))
+			httpjson.Error(w, http.StatusNotFound, fmt.Errorf("fleet: unknown campaign %q", r.PathValue("id")))
 			return
 		}
-		writeJSON(w, http.StatusOK, c.summary())
+		httpjson.Write(w, http.StatusOK, c.summary())
 	})
 	mux.HandleFunc("DELETE /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
 		c, err := s.Cancel(r.PathValue("id"))
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpjson.Error(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, c.summary())
+		httpjson.Write(w, http.StatusOK, c.summary())
 	})
 	mux.HandleFunc("GET /campaigns/{id}/nodes", func(w http.ResponseWriter, r *http.Request) {
 		c, ok := s.Get(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown campaign %q", r.PathValue("id")))
+			httpjson.Error(w, http.StatusNotFound, fmt.Errorf("fleet: unknown campaign %q", r.PathValue("id")))
 			return
 		}
 		if c.Result == nil {
-			httpError(w, http.StatusConflict,
+			httpjson.Error(w, http.StatusConflict,
 				fmt.Errorf("fleet: campaign %q is %s; per-node results need status %s", c.ID, c.Status, StatusDone))
 			return
 		}
-		writeJSON(w, http.StatusOK, c.Result.Nodes)
+		httpjson.Write(w, http.StatusOK, c.Result.Nodes)
 	})
 	return mux
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

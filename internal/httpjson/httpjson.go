@@ -1,0 +1,24 @@
+// Package httpjson holds the JSON response helpers shared by the HTTP
+// APIs in this repo — the fleet campaign server and the sense ingest
+// server — so every endpoint renders bodies and errors identically
+// instead of each server growing its own copy.
+package httpjson
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Write renders v as indented JSON with the given status code.
+func Write(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Error renders err as the canonical {"error": "..."} body.
+func Error(w http.ResponseWriter, code int, err error) {
+	Write(w, code, map[string]string{"error": err.Error()})
+}

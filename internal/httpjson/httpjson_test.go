@@ -1,0 +1,41 @@
+package httpjson
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestWrite(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, 201, map[string]int{"n": 3})
+	if rec.Code != 201 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["n"] != 3 {
+		t.Fatalf("body %v", got)
+	}
+}
+
+func TestError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Error(rec, 418, errors.New("boom"))
+	if rec.Code != 418 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["error"] != "boom" {
+		t.Fatalf("body %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+package phy
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/uwsdr/tinysdr/internal/iq"
+)
+
+// fakeSource serves fixed packets through the Source contract, reusing
+// one scratch buffer between calls like the trace source does.
+type fakeSource struct {
+	pkts    []iq.Samples
+	scratch iq.Samples
+	failAt  int // packet index that errors, -1 for none
+}
+
+func (f *fakeSource) Name() string        { return "fake" }
+func (f *fakeSource) SampleRate() float64 { return 4e6 }
+func (f *fakeSource) Packets() int        { return len(f.pkts) }
+
+func (f *fakeSource) ReadPacket(k int) (iq.Samples, error) {
+	if k == f.failAt {
+		return nil, errors.New("disk on fire")
+	}
+	f.scratch = append(f.scratch[:0], f.pkts[k]...)
+	return f.scratch, nil
+}
+
+func makePackets(seed int64, sizes ...int) []iq.Samples {
+	rng := rand.New(rand.NewSource(seed))
+	var pkts []iq.Samples
+	for _, n := range sizes {
+		p := make(iq.Samples, n)
+		for i := range p {
+			p[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		pkts = append(pkts, p)
+	}
+	return pkts
+}
+
+func concat(pkts []iq.Samples) iq.Samples {
+	var all iq.Samples
+	for _, p := range pkts {
+		all = append(all, p...)
+	}
+	return all
+}
+
+// drain reads the stream to EOF with the given chunk size, checking the
+// full-chunks-until-the-last contract along the way.
+func drain(t *testing.T, s Stream, chunk int) iq.Samples {
+	t.Helper()
+	var got iq.Samples
+	buf := make(iq.Samples, chunk)
+	sawShort := false
+	for {
+		n, err := s.ReadChunk(buf)
+		if err == io.EOF {
+			if n != 0 {
+				t.Fatalf("EOF with %d samples", n)
+			}
+			return got
+		}
+		if err != nil {
+			t.Fatalf("ReadChunk: %v", err)
+		}
+		if sawShort {
+			t.Fatalf("read after a short chunk")
+		}
+		if n < chunk {
+			sawShort = true
+		}
+		got = append(got, buf[:n]...)
+	}
+}
+
+func TestStreamSourceConcatenatesPackets(t *testing.T) {
+	pkts := makePackets(1, 37, 64, 5, 128)
+	want := concat(pkts)
+	for _, chunk := range []int{1, 7, 64, 300} {
+		s, err := StreamSource(&fakeSource{pkts: makePackets(1, 37, 64, 5, 128), failAt: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, s, chunk)
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d samples, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: sample %d differs", chunk, i)
+			}
+		}
+		if s.SampleRate() != 4e6 || s.Name() != "source:fake" {
+			t.Fatalf("identity: %s @ %g", s.Name(), s.SampleRate())
+		}
+	}
+}
+
+func TestStreamSourcePropagatesDeviceError(t *testing.T) {
+	s, err := StreamSource(&fakeSource{pkts: makePackets(2, 16, 16, 16), failAt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make(iq.Samples, 16)
+	if _, err := s.ReadChunk(buf); err != nil {
+		t.Fatalf("first packet: %v", err)
+	}
+	_, err = s.ReadChunk(buf)
+	if err == nil || !errors.Is(err, errDevice) {
+		t.Fatalf("want a device error, got %v", err)
+	}
+	if _, err := StreamSource(nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestStreamSamples(t *testing.T) {
+	x := concat(makePackets(3, 100))
+	s := StreamSamples("synth", 1e6, x)
+	got := drain(t, s, 33)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	if n, err := s.ReadChunk(make(iq.Samples, 4)); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF read: %d, %v", n, err)
+	}
+	if s.Name() != "synth" || s.SampleRate() != 1e6 {
+		t.Fatalf("identity: %s @ %g", s.Name(), s.SampleRate())
+	}
+}
+
+func TestStreamSourceEmpty(t *testing.T) {
+	s, err := StreamSource(&fakeSource{failAt: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.ReadChunk(make(iq.Samples, 8)); n != 0 || err != io.EOF {
+		t.Fatalf("empty source read: %d, %v", n, err)
+	}
+}

@@ -1,0 +1,135 @@
+package sense
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func testAggregator(t *testing.T, budget int64) *Aggregator {
+	t.Helper()
+	m := testMap(t, 4, 8)
+	a, err := NewAggregator(m, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAggregator(t *testing.T) {
+	if _, err := NewAggregator(nil, 0); err == nil {
+		t.Error("nil map accepted")
+	}
+	a := testAggregator(t, 0)
+	if s := a.Stats(); s.BudgetBytes != DefaultBudgetBytes {
+		t.Fatalf("default budget %d", s.BudgetBytes)
+	}
+}
+
+func TestAggregatorIngestWire(t *testing.T) {
+	a := testAggregator(t, 0)
+	wire, err := reportFor(1, 8, -300).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.IngestWire(wire); err != nil {
+		t.Fatal(err)
+	}
+	if s := a.Stats(); s.Ingested != 1 || s.Rejected != 0 || s.Errored != 0 || s.InflightBytes != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	if sum := a.Summarize(); sum.Reports != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+
+	// Garbage counts as errored, not ingested.
+	if err := a.IngestWire([]byte("junk")); err == nil {
+		t.Fatal("garbage ingested")
+	}
+	// A valid report that doesn't fit the grid is errored too.
+	off, _ := reportFor(99, 8, 0).MarshalBinary()
+	if err := a.IngestWire(off); err == nil {
+		t.Fatal("out-of-grid report ingested")
+	}
+	if s := a.Stats(); s.Errored != 2 {
+		t.Fatalf("errored %d, want 2", s.Errored)
+	}
+}
+
+func TestAggregatorBackpressure(t *testing.T) {
+	a := testAggregator(t, 10)
+	wire, _ := reportFor(0, 8, 0).MarshalBinary()
+	err := a.IngestWire(wire)
+	if !IsBackpressure(err) {
+		t.Fatalf("want backpressure, got %v", err)
+	}
+	if s := a.Stats(); s.Rejected != 1 || s.Ingested != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// Admit/Release bracket the budget exactly.
+	b := testAggregator(t, 100)
+	if err := b.Admit(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Admit(60); !IsBackpressure(err) {
+		t.Fatalf("over-budget admit: %v", err)
+	}
+	b.Release(60)
+	if err := b.Admit(60); err != nil {
+		t.Fatalf("budget not released: %v", err)
+	}
+	b.Release(60)
+	b.Release(60) // over-release clamps at zero
+	if s := b.Stats(); s.InflightBytes != 0 {
+		t.Fatalf("inflight %d", s.InflightBytes)
+	}
+}
+
+// TestAggregatorConcurrentDeterminism: hammering the aggregator from many
+// goroutines in scrambled order produces the same map bytes as serial
+// ingest — the property that lets the sweep scale worker counts freely.
+func TestAggregatorConcurrentDeterminism(t *testing.T) {
+	var wires [][]byte
+	for tick := 0; tick < 4; tick++ {
+		for k := 0; k < 8; k++ {
+			w, err := reportFor(tick, 8, int16(-500+37*k)).MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wires = append(wires, w)
+		}
+	}
+	serial := testAggregator(t, 0)
+	for _, w := range wires {
+		if err := serial.IngestWire(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := serial.MapBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conc := testAggregator(t, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(wires); i += 8 {
+				if err := conc.IngestWire(wires[i]); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	got, err := conc.MapBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("concurrent ingest changed the map bytes")
+	}
+}

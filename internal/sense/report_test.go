@@ -1,0 +1,167 @@
+package sense
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	codes := make([]int16, 64)
+	for i := range codes {
+		codes[i] = int16(i*7 - 200)
+	}
+	return &Report{Node: 42, Tick: 7, SampleRate: 1e6, Codes: codes}
+}
+
+func TestQuantizeDBm(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int16
+	}{
+		{0, 0},
+		{-30, -120},
+		{-30.1, -120}, // rounds to nearest quarter dB
+		{-30.13, -121},
+		{0.25, 1},
+		{math.Inf(-1), math.MinInt16},
+		{math.Inf(1), math.MaxInt16},
+		{math.NaN(), math.MinInt16},
+		{1e9, math.MaxInt16},
+		{-1e9, math.MinInt16},
+	}
+	for _, c := range cases {
+		if got := QuantizeDBm(c.in); got != c.want {
+			t.Errorf("QuantizeDBm(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := CodeToDBm(-120); got != -30 {
+		t.Errorf("CodeToDBm(-120) = %g", got)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	wire, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != WireSize(len(r.Codes)) {
+		t.Fatalf("wire size %d, want %d", len(wire), WireSize(len(r.Codes)))
+	}
+	var got Report
+	if err := got.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != r.Node || got.Tick != r.Tick || got.SampleRate != r.SampleRate {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range r.Codes {
+		if got.Codes[i] != r.Codes[i] {
+			t.Fatalf("code %d: %d != %d", i, got.Codes[i], r.Codes[i])
+		}
+	}
+	// Canonical: accepted input re-marshals to identical bytes.
+	again, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, again) {
+		t.Fatal("re-marshal differs")
+	}
+}
+
+func TestReportMarshalRejects(t *testing.T) {
+	r := sampleReport()
+	r.Codes = nil
+	if _, err := r.MarshalBinary(); err == nil {
+		t.Error("empty codes accepted")
+	}
+	r = sampleReport()
+	r.Codes = make([]int16, MaxReportBins+1)
+	if _, err := r.MarshalBinary(); err == nil {
+		t.Error("oversized codes accepted")
+	}
+	for _, rate := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		r = sampleReport()
+		r.SampleRate = rate
+		if _, err := r.MarshalBinary(); err == nil {
+			t.Errorf("rate %g accepted", rate)
+		}
+	}
+}
+
+func TestReportUnmarshalRejectsCorruption(t *testing.T) {
+	wire, err := sampleReport().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte(nil), wire...))
+		var r Report
+		if err := r.UnmarshalBinary(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	mutate("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	mutate("flipped code", func(b []byte) []byte { b[30] ^= 1; return b }) // CRC breaks
+	mutate("truncated", func(b []byte) []byte { return b[:len(b)-1] })
+	mutate("trailing byte", func(b []byte) []byte { return append(b, 0) })
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("header only", func(b []byte) []byte { return b[:10] })
+
+	// A declared bin count over the cap must be rejected before allocation
+	// (the bins field sits at offset 22, after magic+version+node+tick+rate).
+	huge := append([]byte(nil), wire...)
+	huge[22], huge[23] = 0xFF, 0xFF
+	var r Report
+	if err := r.UnmarshalBinary(huge); err == nil || !strings.Contains(err.Error(), "bins") {
+		t.Errorf("oversized bin count: %v", err)
+	}
+	// Zero bins likewise.
+	zero := append([]byte(nil), wire...)
+	zero[22], zero[23] = 0, 0
+	if err := r.UnmarshalBinary(zero); err == nil {
+		t.Error("zero bin count accepted")
+	}
+	// A bad rate must be caught even with a fixed-up CRC.
+	bad := sampleReport()
+	bad.SampleRate = 1 // marshal fine...
+	w2, _ := bad.MarshalBinary()
+	for i := 14; i < 22; i++ {
+		w2[i] = 0xFF // ...then smash the rate to NaN; CRC now wrong too
+	}
+	if err := r.UnmarshalBinary(w2); err == nil {
+		t.Error("NaN rate accepted")
+	}
+}
+
+// FuzzReportUnmarshal pins memory-safety and the canonical-form contract:
+// whatever bytes are accepted must re-marshal to the identical input.
+func FuzzReportUnmarshal(f *testing.F) {
+	wire, err := sampleReport().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	one := (&Report{Node: 1, Tick: 0, SampleRate: 250e3, Codes: []int16{-400}})
+	w1, _ := one.MarshalBinary()
+	f.Add(w1)
+	f.Add([]byte("TSPR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Report
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted report fails to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted report is not canonical:\n in  %x\n out %x", data, out)
+		}
+	})
+}

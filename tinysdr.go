@@ -47,10 +47,29 @@
 // NewAdvertiser, NewBackscatterReader, ...) remain available as thin
 // wrappers over the same PHY implementations; MIGRATION.md maps the old
 // constructors to Link calls.
+//
+// # Crowd-sourced spectrum sensing
+//
+// The sensing subsystem (internal/sense, cmd/tinysdr-sense) turns a fleet
+// of endpoints into a distributed spectrum observatory: each node measures
+// the band through the chunked RX seam (SampleStream), reports a quantized
+// spectrum over a compact binary wire format, and an aggregator merges the
+// streams into a time×frequency occupancy map that is byte-identical at
+// any worker count:
+//
+//	world := tinysdr.DefaultSenseWorld()
+//	res, _ := tinysdr.RunSenseSweep(tinysdr.SenseSweepConfig{
+//		World: world, FFTSize: 256,
+//		Nodes: 10000, Ticks: 6, Seed: 1, ThresholdDBm: -85,
+//	})
+//	var m tinysdr.OccupancyMap
+//	_ = m.UnmarshalBinary(res.MapBytes)
+//	fmt.Printf("occupancy %.3f\n", m.Summarize().Occupancy)
 package tinysdr
 
 import (
 	"context"
+	"net/http"
 
 	"github.com/uwsdr/tinysdr/internal/backscatter"
 	"github.com/uwsdr/tinysdr/internal/ble"
@@ -68,6 +87,7 @@ import (
 	"github.com/uwsdr/tinysdr/internal/ota"
 	"github.com/uwsdr/tinysdr/internal/phy"
 	"github.com/uwsdr/tinysdr/internal/radio"
+	"github.com/uwsdr/tinysdr/internal/sense"
 	"github.com/uwsdr/tinysdr/internal/sim/scenario"
 	"github.com/uwsdr/tinysdr/internal/testbed"
 	"github.com/uwsdr/tinysdr/internal/trace"
@@ -187,6 +207,83 @@ func ReplayTrace(t *Trace, workers int) (LinkStats, error) { return trace.Replay
 // byte-for-byte against the recorded manifest — the cross-version A/B
 // gate CI runs on the committed testdata/traces corpus.
 func VerifyTrace(t *Trace, workers int) error { return trace.Verify(t, workers) }
+
+// SampleStream is the chunked RX seam: a receiver consuming IQ in
+// fixed-size chunks instead of whole-capture buffers, the way streaming
+// hardware hands samples over. ReadChunk fills dst and returns io.EOF
+// after the final (possibly short) chunk.
+type SampleStream = phy.Stream
+
+// StreamSamples wraps an in-memory capture as a SampleStream.
+func StreamSamples(name string, sampleRate float64, x Samples) SampleStream {
+	return phy.StreamSamples(name, sampleRate, x)
+}
+
+// SenseWorld is the shared propagation field of a crowd-sensing sweep:
+// emitters, noise floor, capture geometry and node trajectory parameters.
+type SenseWorld = sense.World
+
+// SenseEmitter is one transmitter in a SenseWorld.
+type SenseEmitter = sense.Emitter
+
+// DefaultSenseWorld returns the 915 MHz campus sensing scenario: three
+// emitters at distinct offsets, duties and powers over a 1 MHz band.
+func DefaultSenseWorld() SenseWorld { return sense.DefaultWorld() }
+
+// SpectrumSensor is one node's sensing engine: it synthesizes the node's
+// view of the world at a (node, tick), streams it through the chunked RX
+// seam into a Welch estimator, and quantizes the result into a
+// SenseReport. Every measurement is a pure function of (seed, node, tick).
+type SpectrumSensor = sense.Sensor
+
+// NewSpectrumSensor builds a sensor for a world at the given FFT size.
+func NewSpectrumSensor(w *SenseWorld, fftSize int, seed int64) (*SpectrumSensor, error) {
+	return sense.NewSensor(w, fftSize, seed)
+}
+
+// SenseReport is one node's spectrum measurement at one tick: quarter-dB
+// quantized bin powers with a strict, canonical binary wire format.
+type SenseReport = sense.Report
+
+// OccupancyMap is the aggregated time×frequency occupancy grid: exact
+// integer per-cell moments, so merge order never changes the bytes.
+type OccupancyMap = sense.Map
+
+// NewOccupancyMap returns an empty grid for the geometry and threshold.
+func NewOccupancyMap(ticks, bins int, sampleRate, thresholdDBm float64) (*OccupancyMap, error) {
+	return sense.NewMap(ticks, bins, sampleRate, thresholdDBm)
+}
+
+// SenseAggregator ingests concurrent report streams into an OccupancyMap
+// under a bounded in-flight byte budget, rejecting (never blocking) past
+// it — see SenseBackpressure.
+type SenseAggregator = sense.Aggregator
+
+// NewSenseAggregator returns an aggregator over the map; budgetBytes <= 0
+// selects the default admission budget.
+func NewSenseAggregator(m *OccupancyMap, budgetBytes int64) (*SenseAggregator, error) {
+	return sense.NewAggregator(m, budgetBytes)
+}
+
+// NewSenseHandler serves an aggregator's ingest API over HTTP:
+// POST /reports, GET /map, GET /map/summary, GET /stats
+// (see cmd/tinysdr-sense serve).
+func NewSenseHandler(a *SenseAggregator) http.Handler { return sense.NewHandler(a) }
+
+// SenseBackpressure reports whether an ingest error is the aggregator
+// shedding load (the HTTP handler's 429); the producer should retry later.
+func SenseBackpressure(err error) bool { return sense.IsBackpressure(err) }
+
+// SenseSweepConfig describes one fleet sensing campaign.
+type SenseSweepConfig = sense.SweepConfig
+
+// SenseSweepResult is a completed campaign: the marshaled OccupancyMap
+// plus report accounting.
+type SenseSweepResult = sense.SweepResult
+
+// RunSenseSweep simulates the fleet across a deterministic worker pool;
+// the marshaled map is byte-identical for any SenseSweepConfig.Workers.
+func RunSenseSweep(cfg SenseSweepConfig) (*SenseSweepResult, error) { return sense.Sweep(cfg) }
 
 // InterfererWaveform builds the canonical interference waveform of any
 // registered PHY at a victim link's sample rate — the protocol-generic
