@@ -9,24 +9,40 @@
 //	tinysdr-fleet -nodes 100 -mode broadcast -image mcu -seed 1
 //	tinysdr-fleet -nodes 1000 -mode unicast -workers 8 -json
 //
-// Server mode exposes the campaign API:
+// Server mode exposes the campaign API; with -state-dir it is
+// crash-recoverable (campaign state write-ahead journaled, interrupted
+// campaigns resumed from their last completed shard on restart) and a
+// SIGTERM drains gracefully — stop admitting, cut running campaigns at the
+// next shard boundary, compact the journal:
 //
-//	tinysdr-fleet -serve :8080
+//	tinysdr-fleet -serve :8080 -state-dir /var/lib/tinysdr-fleet
 //	curl -X POST localhost:8080/campaigns -d '{"nodes":100,"mode":"broadcast","seed":1}'
 //	curl localhost:8080/campaigns/c1        # status + summary
 //	curl localhost:8080/campaigns/c1/nodes  # per-node results
+//
+// Remote mode drives the same one-shot campaign against a served control
+// plane through the retrying fleet.Client — create is idempotent via the
+// client-supplied -campaign-id, so the run survives a control-plane
+// kill/restart mid-campaign and its output is byte-identical to the local
+// one-shot run (the CI fleet-crash smoke diffs exactly that):
+//
+//	tinysdr-fleet -remote http://localhost:8080 -campaign-id soak -nodes 200 -seed 42 -json
 //
 // Campaigns are deterministic: the same spec (seed, nodes, mode, image,
 // shard size) yields bit-identical per-node results at any -workers value.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"github.com/uwsdr/tinysdr/internal/eval"
 	"github.com/uwsdr/tinysdr/internal/fleet"
@@ -34,6 +50,9 @@ import (
 
 func main() {
 	serve := flag.String("serve", "", "serve the campaign HTTP API on this address instead of running one-shot")
+	stateDir := flag.String("state-dir", "", "journal campaign state under this directory (server mode): campaigns survive a crash and resume from the last completed shard")
+	remote := flag.String("remote", "", "run the one-shot campaign against the control plane at this base URL via the retrying client instead of in-process")
+	campaignID := flag.String("campaign-id", "", "client-supplied campaign id for -remote (the idempotency key; default cli-<seed>)")
 	nodes := flag.Int("nodes", 100, "fleet size")
 	mode := flag.String("mode", "broadcast", "programming protocol: broadcast or unicast")
 	image := flag.String("image", "mcu", "firmware image: lora, ble, or mcu")
@@ -53,12 +72,49 @@ func main() {
 	flag.Parse()
 
 	if *serve != "" {
-		srv := fleet.NewServer()
-		fmt.Fprintf(os.Stderr, "tinysdr-fleet: serving campaign API on %s\n", *serve)
-		if err := http.ListenAndServe(*serve, srv.Handler()); err != nil {
+		var srv *fleet.Server
+		var err error
+		if *stateDir != "" {
+			if srv, err = fleet.OpenServer(*stateDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "tinysdr-fleet: serving campaign API on %s (journal: %s)\n", *serve, *stateDir)
+		} else {
+			srv = fleet.NewServer()
+			fmt.Fprintf(os.Stderr, "tinysdr-fleet: serving campaign API on %s (in-memory)\n", *serve)
+		}
+		httpSrv := &http.Server{Addr: *serve, Handler: srv.Handler()}
+		drained := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		go func() {
+			<-sig
+			// Graceful drain: stop admitting (creates now 503), cut running
+			// campaigns at their next shard boundary, checkpoint + compact
+			// the journal, then close the listener. A second signal during
+			// the drain is the classic "no really, now" and exits hard —
+			// the journal makes that safe.
+			fmt.Fprintln(os.Stderr, "tinysdr-fleet: draining (campaigns cut at the next shard boundary)")
+			go func() {
+				<-sig
+				fmt.Fprintln(os.Stderr, "tinysdr-fleet: second signal, exiting without drain")
+				os.Exit(1)
+			}()
+			if err := srv.Drain(context.Background()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			close(drained)
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(sctx)
+		}()
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		<-drained
+		fmt.Fprintln(os.Stderr, "tinysdr-fleet: drained")
 		return
 	}
 
@@ -74,7 +130,13 @@ func main() {
 		Quorum:      *quorum,
 		RetryBudget: *retryBudget,
 	}
-	res, err := fleet.Run(spec)
+	var res *fleet.Result
+	var err error
+	if *remote != "" {
+		res, err = runRemote(*remote, *campaignID, *seed, spec)
+	} else {
+		res, err = fleet.Run(spec)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -98,6 +160,29 @@ func main() {
 			res.Failed, len(res.Nodes), res.CompletionFrac)
 		os.Exit(1)
 	}
+}
+
+// runRemote drives the campaign against a served control plane through the
+// retrying client. The client-supplied id makes the create idempotent, so
+// the whole run — create, poll, fetch — survives a control-plane
+// kill/restart and returns a Result byte-identical to the local path's.
+func runRemote(base, id string, seed int64, spec fleet.Spec) (*fleet.Result, error) {
+	if id == "" {
+		id = fmt.Sprintf("cli-%d", seed)
+	}
+	cl := fleet.NewClient(base, seed)
+	ctx := context.Background()
+	if _, err := cl.Create(ctx, id, spec); err != nil {
+		return nil, err
+	}
+	camp, err := cl.WaitDone(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if camp.Status != fleet.StatusDone {
+		return nil, fmt.Errorf("tinysdr-fleet: campaign %q ended %s: %s", id, camp.Status, camp.Error)
+	}
+	return cl.Result(ctx, id)
 }
 
 func printSummary(res *fleet.Result) {

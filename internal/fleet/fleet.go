@@ -220,12 +220,21 @@ type Result struct {
 	Nodes []NodeResult `json:"nodes"`
 }
 
-// shardResult is one cell's contribution.
-type shardResult struct {
-	nodes   []NodeResult
-	elapsed time.Duration
-	air     int
-	packets int
+// ShardResult is one AP cell's contribution to a campaign — the unit of
+// resumable execution. Each shard is a pure function of (spec, shard
+// index), so a persisted ShardResult substitutes exactly for re-running
+// its cell; the fleet server journals one as each shard completes and a
+// recovered campaign re-executes only the missing ones.
+type ShardResult struct {
+	// Shard is the cell's index in the campaign's partition.
+	Shard int `json:"shard"`
+	// Elapsed is the cell's own programming time (nanoseconds in JSON).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// AirBytes and DataPackets are the cell's AP transmission totals.
+	AirBytes    int `json:"air_bytes"`
+	DataPackets int `json:"data_packets"`
+	// Nodes holds the cell's per-node outcomes in global ID order.
+	Nodes []NodeResult `json:"nodes"`
 }
 
 // Run executes a campaign synchronously and returns the per-node results.
@@ -240,46 +249,111 @@ func Run(spec Spec) (*Result, error) {
 // campaign between shards and between self-healing repair rounds, so a
 // hung or heavily-faulted campaign cannot run away from its controller.
 func RunContext(ctx context.Context, spec Spec) (*Result, error) {
+	return RunResumable(ctx, spec, nil, nil)
+}
+
+// numShards is the campaign's cell count for a normalized spec.
+func numShards(spec Spec) int {
+	return (spec.Nodes + spec.ShardSize - 1) / spec.ShardSize
+}
+
+// RunResumable is RunContext with a durability seam: shards already in
+// done are not re-executed (their persisted results substitute for the
+// run), and onShard — when non-nil — observes each freshly-executed
+// shard's result as it completes, before the campaign finishes. onShard is
+// called from worker goroutines, possibly concurrently; the caller
+// serializes. An onShard error aborts the campaign (the control plane
+// treats a failed journal write as fatal rather than running ahead of its
+// log).
+//
+// The merged Result is byte-identical to an uninterrupted run: shards are
+// merged in partition order whether they came from done or from this
+// execution, which is exactly the positional order of the non-resumed
+// fan-out.
+func RunResumable(ctx context.Context, spec Spec, done map[int]ShardResult, onShard func(ShardResult) error) (*Result, error) {
 	spec, err := spec.normalize()
 	if err != nil {
 		return nil, err
 	}
-	img, target, design := buildImage(spec)
-	u, err := ota.BuildUpdate(target, img)
-	if err != nil {
-		return nil, err
-	}
-
-	shards := (spec.Nodes + spec.ShardSize - 1) / spec.ShardSize
-	// With a single cell the pool has nothing to fan over, so the cell's
-	// unicast sessions use it instead; per-node results are independent of
-	// pool sizing either way (see internal/par).
-	innerWorkers := 1
-	if shards == 1 {
-		innerWorkers = par.ResolveWorkers(spec.Workers)
-	}
-	outs, err := par.Do(par.ResolveWorkers(spec.Workers), shards, func(s int) (shardResult, error) {
-		if err := ctx.Err(); err != nil {
-			return shardResult{}, fmt.Errorf("fleet: campaign canceled: %w", err)
+	shards := numShards(spec)
+	// Walk the partition in index order (not the map) so validation,
+	// copying, and the missing-shard scan are all deterministic; a key
+	// outside [0, shards) shows up as a count mismatch at the end.
+	var missing []int
+	all := make(map[int]ShardResult, shards)
+	resumed := 0
+	for s := 0; s < shards; s++ {
+		sr, ok := done[s]
+		if !ok {
+			missing = append(missing, s)
+			continue
 		}
-		size := spec.ShardSize
-		if s == shards-1 {
-			size = spec.Nodes - s*spec.ShardSize
+		if sr.Shard != s {
+			return nil, fmt.Errorf("fleet: resumed shard %d carries index %d", s, sr.Shard)
 		}
-		return runShard(ctx, spec, u, design, s, size, innerWorkers)
-	})
-	if err != nil {
-		return nil, err
+		all[s] = sr
+		resumed++
 	}
+	if resumed != len(done) {
+		return nil, fmt.Errorf("fleet: resumed shards outside the campaign's %d-shard partition", shards)
+	}
+	if len(missing) > 0 {
+		img, target, design := buildImage(spec)
+		u, err := ota.BuildUpdate(target, img)
+		if err != nil {
+			return nil, err
+		}
+		// With a single cell the pool has nothing to fan over, so the cell's
+		// unicast sessions use it instead; per-node results are independent
+		// of pool sizing either way (see internal/par).
+		innerWorkers := 1
+		if shards == 1 {
+			innerWorkers = par.ResolveWorkers(spec.Workers)
+		}
+		outs, err := par.Do(par.ResolveWorkers(spec.Workers), len(missing), func(i int) (ShardResult, error) {
+			if err := ctx.Err(); err != nil {
+				return ShardResult{}, fmt.Errorf("fleet: campaign canceled: %w", err)
+			}
+			s := missing[i]
+			size := spec.ShardSize
+			if s == shards-1 {
+				size = spec.Nodes - s*spec.ShardSize
+			}
+			sr, err := runShard(ctx, spec, u, design, s, size, innerWorkers)
+			if err != nil {
+				return sr, err
+			}
+			if onShard != nil {
+				if err := onShard(sr); err != nil {
+					return sr, err
+				}
+			}
+			return sr, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, out := range outs {
+			all[missing[i]] = out
+		}
+	}
+	return mergeShards(spec, all), nil
+}
 
+// mergeShards folds a complete shard set into the campaign Result. Merging
+// walks the partition in shard order, so the outcome does not depend on
+// which shards were resumed from a journal and which just ran.
+func mergeShards(spec Spec, all map[int]ShardResult) *Result {
+	shards := numShards(spec)
 	res := &Result{Spec: spec, Shards: shards}
-	for _, out := range outs {
-		if out.elapsed > res.FleetTime {
-			res.FleetTime = out.elapsed
+	for s := 0; s < shards; s++ {
+		out := all[s]
+		if out.Elapsed > res.FleetTime {
+			res.FleetTime = out.Elapsed
 		}
-		res.AirBytes += out.air
-		res.DataPackets += out.packets
-		res.Nodes = append(res.Nodes, out.nodes...)
+		res.AirBytes += out.AirBytes
+		res.DataPackets += out.DataPackets
+		res.Nodes = append(res.Nodes, out.Nodes...)
 	}
 	for _, n := range res.Nodes {
 		if n.Err != "" {
@@ -297,7 +371,7 @@ func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 		quorum = 1
 	}
 	res.QuorumMet = res.CompletionFrac >= quorum
-	return res, nil
+	return res
 }
 
 // shardSeeds derives a cell's geometry and protocol seeds. Two SplitMix64
@@ -317,11 +391,11 @@ func faultSeed(seed int64, shard int) int64 {
 // runShard programs one AP cell. workers sizes the host pool for the cell's
 // unicast sessions (simulated time is unaffected: the AP's schedule is
 // sequential on each node's own clock either way).
-func runShard(ctx context.Context, spec Spec, u *ota.Update, design *fpga.Design, shard, size, workers int) (shardResult, error) {
+func runShard(ctx context.Context, spec Spec, u *ota.Update, design *fpga.Design, shard, size, workers int) (ShardResult, error) {
 	campusSeed, protoSeed := shardSeeds(spec.Seed, shard)
 	campus := testbed.NewCampusN(campusSeed, size)
 	base := shard * spec.ShardSize
-	var out shardResult
+	out := ShardResult{Shard: shard}
 
 	switch spec.Mode {
 	case ModeUnicast:
@@ -344,11 +418,11 @@ func runShard(ctx context.Context, spec Spec, u *ota.Update, design *fpga.Design
 				nr.Class = string(ota.FailUnreachable)
 			} else {
 				nr.Retries = r.Report.Retransmissions
-				out.air += r.Report.AirBytes
-				out.packets += r.Report.DataPackets + r.Report.Retransmissions
+				out.AirBytes += r.Report.AirBytes
+				out.DataPackets += r.Report.DataPackets + r.Report.Retransmissions
 			}
-			out.elapsed += nr.Duration
-			out.nodes = append(out.nodes, nr)
+			out.Elapsed += nr.Duration
+			out.Nodes = append(out.Nodes, nr)
 		}
 
 	case ModeBroadcast:
@@ -383,9 +457,9 @@ func runShard(ctx context.Context, spec Spec, u *ota.Update, design *fpga.Design
 		if err != nil {
 			return out, fmt.Errorf("fleet: shard %d: %w", shard, err)
 		}
-		out.elapsed = rep.FleetTime
-		out.air = rep.AirBytes
-		out.packets = rep.BroadcastPackets + rep.RepairPackets
+		out.Elapsed = rep.FleetTime
+		out.AirBytes = rep.AirBytes
+		out.DataPackets = rep.BroadcastPackets + rep.RepairPackets
 		for i, p := range rep.PerNode {
 			node := campus.Nodes[i]
 			nr := NodeResult{
@@ -400,7 +474,7 @@ func runShard(ctx context.Context, spec Spec, u *ota.Update, design *fpga.Design
 			}
 			nr.Crashes = p.Crashes
 			nr.FlashFaults = p.FlashFaults
-			out.nodes = append(out.nodes, nr)
+			out.Nodes = append(out.Nodes, nr)
 		}
 	}
 	return out, nil

@@ -1,0 +1,491 @@
+package fleet
+
+// Durability tests for the journal-backed server: crash/recovery at every
+// journal-append boundary, resumable execution at the shard seam, drain
+// semantics, idempotent create, and ID allocation across restarts. The
+// governing invariant is TestResumeBitIdentical: however a campaign's
+// execution is interrupted, the recovered Result must be byte-identical to
+// an uninterrupted run of the same spec.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/uwsdr/tinysdr/internal/journal"
+)
+
+// crashSpec is the reference campaign for crash sweeps: 2 shards, so its
+// full journal is exactly 5 records (created, started, 2 shard-dones,
+// done) and every prefix is a reachable crash point.
+var crashSpec = Spec{Seed: 7, Nodes: 40, ShardSize: 20, Mode: ModeBroadcast}
+
+func resultJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshaling result: %v", err)
+	}
+	return data
+}
+
+// waitTerminal waits for the campaign with a bounded context so a hung
+// recovery fails the test instead of timing it out.
+func waitTerminal(t *testing.T, s *Server, id string) *Campaign {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+	return c
+}
+
+// TestResumeBitIdentical is the durability gate: kill the server after
+// every possible journal append of a campaign's lifecycle, recover from
+// the journal, and require the resumed campaign's Result to be
+// byte-identical to an uninterrupted run. A recovered campaign must also
+// only re-execute shards the journal does not already hold.
+func TestResumeBitIdentical(t *testing.T) {
+	golden, err := Run(crashSpec)
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	goldenJSON := resultJSON(t, golden)
+
+	// 5 total appends; crashing after the 5th is a completed campaign.
+	for crashAt := 1; crashAt <= 5; crashAt++ {
+		t.Run(fmt.Sprintf("crash-after-append-%d", crashAt), func(t *testing.T) {
+			dir := t.TempDir()
+			s1, err := OpenServer(dir)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			s1.CrashAfterAppends(crashAt)
+			c, err := s1.Create(crashSpec)
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			select {
+			case <-s1.Crashed():
+			case <-time.After(time.Minute):
+				t.Fatalf("crash point %d never fired", crashAt)
+			}
+			// The killed server's runner may still be unwinding; recovery
+			// must not depend on it. Reopen the state dir as a new process
+			// would.
+			s2, err := OpenServer(dir)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer s2.Drain(context.Background())
+			got, ok := s2.Get(c.ID)
+			if !ok {
+				t.Fatalf("campaign %s lost across the crash", c.ID)
+			}
+			if crashAt == 5 && got.Status != StatusDone {
+				t.Fatalf("fully journaled campaign recovered as %s, want %s", got.Status, StatusDone)
+			}
+			fin := waitTerminal(t, s2, c.ID)
+			if fin.Status != StatusDone {
+				t.Fatalf("recovered campaign ended %s (%s), want %s", fin.Status, fin.Error, StatusDone)
+			}
+			if resumed := resultJSON(t, fin.Result); !bytes.Equal(resumed, goldenJSON) {
+				t.Errorf("resumed result differs from uninterrupted run\n got: %s\nwant: %s", resumed, goldenJSON)
+			}
+		})
+	}
+}
+
+// TestRecoverResumesOnlyMissingShards pins the resume seam: a campaign
+// recovered with journaled shards must keep those exact results (the
+// journal is the authority, not a re-execution).
+func TestRecoverResumesOnlyMissingShards(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Kill after the first shard-done record (created, started, shard).
+	s1.CrashAfterAppends(3)
+	c, err := s1.Create(crashSpec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	<-s1.Crashed()
+
+	s2, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer s2.Drain(context.Background())
+	fin := waitTerminal(t, s2, c.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("recovered campaign ended %s, want done", fin.Status)
+	}
+	// Drain compacts; the compacted journal of a done campaign is exactly
+	// created + done — the shard-done records were consumed by the merge.
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	j, recs, err := journal.Open(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatalf("reading compacted journal: %v", err)
+	}
+	j.Close()
+	if len(recs) != 2 || recs[0].Type != recCreated || recs[1].Type != recDone {
+		types := make([]uint8, len(recs))
+		for i, r := range recs {
+			types[i] = r.Type
+		}
+		t.Fatalf("compacted journal records %v, want [created done]", types)
+	}
+}
+
+// TestIDAllocationSurvivesRestart pins the high-water fix: a recovered
+// server must allocate past every journaled ID, including client-supplied
+// IDs that squat in the server's own c<N> namespace.
+func TestIDAllocationSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c1, err := s1.Create(crashSpec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if c1.ID != "c1" {
+		t.Fatalf("first ID %q, want c1", c1.ID)
+	}
+	// A client-supplied ID deep in the server namespace must raise the
+	// counter too.
+	if _, _, err := s1.CreateID("c41", crashSpec); err != nil {
+		t.Fatalf("client-ID create: %v", err)
+	}
+	waitTerminal(t, s1, "c41")
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	s2, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Drain(context.Background())
+	c3, err := s2.Create(crashSpec)
+	if err != nil {
+		t.Fatalf("create after restart: %v", err)
+	}
+	if c3.ID != "c42" {
+		t.Fatalf("post-restart ID %q, want c42 (past the journaled high water)", c3.ID)
+	}
+	if _, ok := s2.Get("c1"); !ok {
+		t.Fatalf("campaign c1 lost across restart")
+	}
+}
+
+func TestIDHighWater(t *testing.T) {
+	cases := []struct {
+		id   string
+		want int
+	}{
+		{"c1", 1}, {"c41", 41}, {"c0", 0}, {"c007", 0}, {"c-3", 0},
+		{"x9", 0}, {"c", 0}, {"c9z", 0}, {"soak", 0},
+	}
+	for _, tc := range cases {
+		if got := idHighWater(tc.id); got != tc.want {
+			t.Errorf("idHighWater(%q) = %d, want %d", tc.id, got, tc.want)
+		}
+	}
+}
+
+// TestIdempotentCreate pins the client-supplied-ID contract: same ID and
+// spec returns the existing campaign, same ID with a different spec is
+// ErrSpecConflict, and malformed IDs are rejected outright.
+func TestIdempotentCreate(t *testing.T) {
+	s := NewServer()
+	c1, created, err := s.CreateID("soak", crashSpec)
+	if err != nil || !created {
+		t.Fatalf("first create: created=%v err=%v", created, err)
+	}
+	c2, created, err := s.CreateID("soak", crashSpec)
+	if err != nil {
+		t.Fatalf("idempotent re-create: %v", err)
+	}
+	if created || c2.ID != c1.ID {
+		t.Fatalf("re-create returned created=%v id=%q, want existing %q", created, c2.ID, c1.ID)
+	}
+	other := crashSpec
+	other.Seed++
+	if _, _, err := s.CreateID("soak", other); !errors.Is(err, ErrSpecConflict) {
+		t.Fatalf("conflicting spec error %v, want ErrSpecConflict", err)
+	}
+	for _, bad := range []string{"has space", "sla/sh", string(make([]byte, 65))} {
+		if _, _, err := s.CreateID(bad, crashSpec); err == nil {
+			t.Errorf("CreateID(%q) accepted a malformed id", bad)
+		}
+	}
+	waitTerminal(t, s, "soak")
+	// Idempotent create against a finished campaign still returns it.
+	c3, created, err := s.CreateID("soak", crashSpec)
+	if err != nil || created {
+		t.Fatalf("re-create after done: created=%v err=%v", created, err)
+	}
+	if c3.Status != StatusDone {
+		t.Fatalf("re-create after done returned status %s", c3.Status)
+	}
+}
+
+// TestDrainStopsAdmitting pins drain's admission contract and that a
+// drained server's journal reopens cleanly.
+func TestDrainStopsAdmitting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := s.Create(crashSpec); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := s.Create(crashSpec); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create on drained server: %v, want ErrDraining", err)
+	}
+	// Idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	s2, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("reopen after drain: %v", err)
+	}
+	defer s2.Drain(context.Background())
+	fin := waitTerminal(t, s2, "c1")
+	if fin.Status != StatusDone {
+		t.Fatalf("campaign after drain+reopen: %s, want done", fin.Status)
+	}
+}
+
+// TestDrainCutsAtShardBoundary drains mid-campaign and requires the
+// campaign to come back resumable and finish byte-identical after reopen.
+// The drain lands at a nondeterministic shard, which is exactly the
+// point: whatever the cut, the journal carries the campaign across.
+func TestDrainCutsAtShardBoundary(t *testing.T) {
+	golden, err := Run(Spec{Seed: 11, Nodes: 200, ShardSize: 20, Mode: ModeBroadcast})
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	dir := t.TempDir()
+	s1, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c, err := s1.Create(golden.Spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Let at least one shard land, then drain.
+	for {
+		got, _ := s1.Get(c.ID)
+		if got.ShardsDone > 0 || got.Status == StatusDone {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	s2, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Drain(context.Background())
+	fin := waitTerminal(t, s2, c.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("resumed campaign ended %s, want done", fin.Status)
+	}
+	if got, want := resultJSON(t, fin.Result), resultJSON(t, golden); !bytes.Equal(got, want) {
+		t.Errorf("drained-and-resumed result differs from uninterrupted run")
+	}
+}
+
+// TestCancelJournaledTerminal pins that a user cancel is a journaled
+// terminal state: it survives restart as canceled, never re-runs.
+func TestCancelJournaledTerminal(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Queue two campaigns; the second waits on the run slot, so canceling
+	// it exercises the canceled-while-pending path deterministically.
+	a, err := s1.Create(crashSpec)
+	if err != nil {
+		t.Fatalf("create a: %v", err)
+	}
+	b, err := s1.Create(Spec{Seed: 13, Nodes: 2000, ShardSize: 20})
+	if err != nil {
+		t.Fatalf("create b: %v", err)
+	}
+	canceled, err := s1.Cancel(b.ID)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if canceled.Status != StatusCanceled {
+		t.Fatalf("canceled campaign status %s", canceled.Status)
+	}
+	waitTerminal(t, s1, a.ID)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	s2, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Drain(context.Background())
+	got, ok := s2.Get(b.ID)
+	if !ok || got.Status != StatusCanceled {
+		t.Fatalf("canceled campaign recovered as %v (found=%v), want canceled", got, ok)
+	}
+}
+
+// TestDrainCreateCancelStress hammers a journal-backed server with
+// concurrent creates, cancels, and a drain, then requires (a) no campaign
+// is lost, (b) the journal replays cleanly, and (c) every admitted
+// campaign reaches a terminal state after reopen. Run under -race this is
+// the control plane's interleaving gate.
+func TestDrainCreateCancelStress(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const creators = 8
+	var mu sync.Mutex
+	var admitted []string
+	var wg sync.WaitGroup
+	for g := 0; g < creators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				spec := crashSpec
+				spec.Seed = int64(g*100 + i)
+				id := fmt.Sprintf("stress-%d-%d", g, i)
+				c, _, err := s1.CreateID(id, spec)
+				if errors.Is(err, ErrDraining) {
+					return // drain won the race; stop admitting
+				}
+				if err != nil {
+					t.Errorf("create %s: %v", id, err)
+					return
+				}
+				mu.Lock()
+				admitted = append(admitted, c.ID)
+				mu.Unlock()
+				if i%3 == 1 {
+					if _, err := s1.Cancel(c.ID); err != nil {
+						t.Errorf("cancel %s: %v", c.ID, err)
+					}
+				}
+			}
+		}(g)
+	}
+	// Drain concurrently with the create/cancel storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		if err := s1.Drain(context.Background()); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	wg.Wait()
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+
+	s2, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("reopen after stress: %v", err)
+	}
+	defer s2.Drain(context.Background())
+	for _, id := range admitted {
+		fin := waitTerminal(t, s2, id)
+		switch fin.Status {
+		case StatusDone, StatusCanceled:
+		default:
+			t.Errorf("campaign %s ended %s (%s), want done or canceled", id, fin.Status, fin.Error)
+		}
+	}
+}
+
+// TestOpenServerRejectsCorruptJournal pins strict replay: a CRC-valid
+// journal whose records are semantically impossible (shard for an unknown
+// campaign) must refuse to open rather than guess.
+func TestOpenServerRejectsCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	buf := journal.Header()
+	rec, err := marshalRecord(recStarted, startedRecord{ID: "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = journal.AppendFrame(buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, JournalName), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenServer(dir); err == nil {
+		t.Fatalf("OpenServer accepted a journal referencing an unknown campaign")
+	}
+}
+
+// TestCompactionCanonical pins that compaction is a fixed point: opening
+// and re-opening a state dir must leave the journal bytes unchanged once
+// the state is stable.
+func TestCompactionCanonical(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c, err := s1.Create(crashSpec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	waitTerminal(t, s1, c.ID)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	path := filepath.Join(dir, JournalName)
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenServer(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("compaction is not canonical: journal bytes changed across a no-op open/drain cycle")
+	}
+}

@@ -639,8 +639,27 @@ func RunFleetCampaignContext(ctx context.Context, spec FleetSpec) (*FleetResult,
 // API (see cmd/tinysdr-fleet).
 type FleetServer = fleet.Server
 
-// NewFleetServer returns an empty campaign scheduler.
+// NewFleetServer returns an empty in-memory campaign scheduler; campaigns
+// die with the process. Use OpenFleetServer for the crash-recoverable
+// variant.
 func NewFleetServer() *FleetServer { return fleet.NewServer() }
+
+// OpenFleetServer returns a crash-recoverable campaign scheduler rooted at
+// stateDir: every campaign state transition is write-ahead journaled, and
+// reopening the same directory after a crash recovers every campaign —
+// interrupted ones resume from their last completed shard to a Result
+// byte-identical to an uninterrupted run (see RELIABILITY.md).
+func OpenFleetServer(stateDir string) (*FleetServer, error) { return fleet.OpenServer(stateDir) }
+
+// FleetClient is the retrying HTTP client of the campaign API: idempotent
+// create via client-supplied campaign IDs, per-request timeouts, and capped
+// exponential backoff with seeded jitter, so a driven campaign survives a
+// control-plane restart.
+type FleetClient = fleet.Client
+
+// NewFleetClient returns a campaign API client for the server at base
+// (e.g. "http://127.0.0.1:8080"). seed drives only the retry jitter.
+func NewFleetClient(base string, seed int64) *FleetClient { return fleet.NewClient(base, seed) }
 
 // FaultSpec describes deterministic fault intensities for chaos campaigns:
 // node crash/reboot, flash write failures and bit-rot, RX desync bursts,
